@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table or figure and prints the
+measured values next to the published ones.  The corpora and model
+budgets come from one shared :class:`ExperimentConfig`, controlled by
+the ``REPRO_*`` environment variables (see
+:mod:`repro.eval.experiments`); defaults are laptop-friendly.
+
+Rendered outputs are also appended to ``benchmarks/results/report.txt``
+so the full reproduction record survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """One config (and corpus cache) shared by all benchmarks."""
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report() -> None:
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / "report.txt").write_text("")
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block to the real terminal and persist it to disk."""
+
+    def _report(title: str, body: str) -> None:
+        block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+        with capsys.disabled():
+            print(block)
+        with open(_RESULTS_DIR / "report.txt", "a") as handle:
+            handle.write(block)
+
+    return _report

@@ -1,0 +1,50 @@
+"""Ablation S4 — Algorithm 2 parameters (Section 6.1.2).
+
+"We do not observe a substantial difference in the result with
+different values of the aggregation delta d and coverage c" — checked
+by sweeping both around the paper's defaults (d=0.1, c=0.5).  The
+keyword-anchor ablation quantifies the design decision the paper's
+error analysis discusses: anchoring misses unanchored aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import (
+    anchor_mode_ablation,
+    derived_parameter_sweep,
+)
+
+
+def test_ablation_derived_parameter_sweep(benchmark, config, report):
+    result = benchmark.pedantic(
+        derived_parameter_sweep, args=(config,), rounds=1, iterations=1
+    )
+    lines = [f"{'delta':>7} {'coverage':>9} {'derived F1':>11}"]
+    for (delta, coverage), f1 in sorted(result.items()):
+        lines.append(f"{delta:>7g} {coverage:>9g} {f1:>11.3f}")
+    report("Ablation S4 — aggregation delta/coverage sweep (SAUS)",
+           "\n".join(lines))
+
+    values = np.array(list(result.values()))
+    # Insensitivity claim: the spread across settings stays modest.
+    assert values.max() - values.min() < 0.35
+    # The paper's default setting is within reach of the best.
+    assert result[(0.1, 0.5)] >= values.max() - 0.25
+
+
+def test_ablation_anchor_mode(benchmark, config, report):
+    result = benchmark.pedantic(
+        anchor_mode_ablation, args=(config,), rounds=1, iterations=1
+    )
+    report(
+        "Ablation S4b — Algorithm 2 anchoring on Troy (derived line F1)",
+        f"{'keyword':<12} {result['keyword']:.3f}\n"
+        f"{'exhaustive':<12} {result['exhaustive']:.3f}\n"
+        "paper: keyword anchoring misses Troy's unanchored derived "
+        "lines (F1 .070)",
+    )
+    # Out of domain, keyword anchoring leaves derived recall on the
+    # table; the exhaustive variant recovers (some of) it.
+    assert result["exhaustive"] >= result["keyword"]

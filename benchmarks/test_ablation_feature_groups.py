@@ -1,0 +1,61 @@
+"""Ablation S5 — feature-group contribution (line and cell tasks).
+
+Drops each of the paper's three feature groups (content, contextual,
+computational) in turn and measures the macro-F1 cost, quantifying
+DESIGN.md's called-out design decisions.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import (
+    cell_feature_group_ablation,
+    feature_group_ablation,
+)
+from repro.types import CellClass
+
+
+def _render(result) -> str:
+    lines = [f"{'variant':<22} {'accuracy':>9} {'macro-F1':>9} "
+             f"{'derived F1':>11}"]
+    for name, cv in result.items():
+        derived = cv.scores.per_class_f1.get(CellClass.DERIVED, 0.0)
+        lines.append(
+            f"{name:<22} {cv.scores.accuracy:>9.3f} "
+            f"{cv.scores.macro_f1:>9.3f} {derived:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_line_feature_groups(benchmark, config, report):
+    result = benchmark.pedantic(
+        feature_group_ablation, args=(config,), rounds=1, iterations=1
+    )
+    report("Ablation S5 — Strudel-L feature groups (SAUS)",
+           _render(result))
+    full = result["all"].scores
+    # Removing the computational group (DerivedCoverage) costs derived
+    # F1 — the feature exists precisely for that class.  Fold noise at
+    # reduced scale warrants a tolerance.
+    without = result["without_computational"].scores
+    assert full.per_class_f1[CellClass.DERIVED] >= (
+        without.per_class_f1[CellClass.DERIVED] - 0.06
+    )
+    # Content features carry most of the signal: dropping them hurts
+    # more than dropping the single computational feature.
+    assert (
+        result["without_content"].scores.macro_f1
+        <= result["without_computational"].scores.macro_f1 + 0.02
+    )
+
+
+def test_ablation_cell_feature_groups(benchmark, config, report):
+    result = benchmark.pedantic(
+        cell_feature_group_ablation, args=(config,), rounds=1, iterations=1
+    )
+    report("Ablation S5 — Strudel-C feature groups (SAUS)",
+           _render(result))
+    full = result["all"].scores
+    without = result["without_computational"].scores
+    assert full.per_class_f1[CellClass.DERIVED] >= (
+        without.per_class_f1[CellClass.DERIVED] - 0.05
+    )

@@ -1,0 +1,29 @@
+"""Ablation S2 — global line features (Section 4).
+
+The paper tested file-level features (empty-line share, width, length,
+empty-block count) and found "no positive impact"; Strudel ships with
+local features only.  This benchmark reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import global_feature_ablation
+
+
+def test_ablation_global_features(benchmark, config, report):
+    result = benchmark.pedantic(
+        global_feature_ablation, args=(config,), rounds=1, iterations=1
+    )
+    local = result["local_only"].scores
+    with_global = result["with_global"].scores
+    report(
+        "Ablation S2 — global line features (DeEx)",
+        f"{'variant':<15} {'accuracy':>9} {'macro-F1':>9}\n"
+        f"{'local_only':<15} {local.accuracy:>9.3f} {local.macro_f1:>9.3f}\n"
+        f"{'with_global':<15} {with_global.accuracy:>9.3f} "
+        f"{with_global.macro_f1:>9.3f}\n"
+        "paper: global features showed no positive impact",
+    )
+    # "No positive impact": adding the global features must not yield a
+    # material improvement.
+    assert with_global.macro_f1 <= local.macro_f1 + 0.03

@@ -1,0 +1,38 @@
+"""Plain-text acquisition pipeline (Section 6.1.1).
+
+The paper selected 100 Mendeley plain-text files and kept the 62
+whose table region parsed correctly under the detected dialect.  This
+benchmark runs the same acquisition over generated science-domain
+files emitted under random exotic dialects and reports the survival
+rate per dialect.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.corpora import make_mendeley
+from repro.datagen.plaintext import acquire_plain_text_corpus
+
+
+def test_acquisition_parseability(benchmark, config, report):
+    def run():
+        corpus = make_mendeley(seed=17, scale=0.25)
+        return acquire_plain_text_corpus(corpus, seed=config.seed)
+
+    kept, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"candidate files : {stats.total}",
+        f"parse-able      : {stats.parseable} "
+        f"({stats.parseable_rate:.0%}) — paper kept 62/100",
+        "",
+        f"{'delimiter':<12} {'parse-able':>11}",
+    ]
+    for delimiter, (ok, total) in sorted(stats.per_dialect.items()):
+        lines.append(f"{delimiter:<12} {ok:>6}/{total}")
+    report("Acquisition — plain-text parse-ability filtering",
+           "\n".join(lines))
+
+    # The filter must actually reject some files (exotic dialects
+    # destroy some tables) while keeping a solid majority, matching
+    # the paper's 62% survival order of magnitude.
+    assert 0.3 <= stats.parseable_rate < 1.0
+    assert len(kept) == stats.parseable

@@ -1,0 +1,51 @@
+"""Section 6.3.6 — analysis of difficult cases.
+
+Runs Strudel-L on held-out DeEx files and prints the programmatic
+version of the paper's difficult-case catalogue: every confusion pair
+above the 10% threshold with its root cause, plus the data-sink share
+(how much of the minority-class error mass lands on ``data``).
+"""
+
+from __future__ import annotations
+
+from repro.eval.errors import (
+    analyze_errors,
+    data_sink_share,
+    format_error_report,
+)
+from repro.eval.runner import evaluate_lines
+from repro.types import CellClass
+
+
+def test_difficult_case_analysis(benchmark, config, report):
+    corpus = config.corpus("deex")
+    files = corpus.files
+    cut = max(1, int(0.8 * len(files)))
+
+    def run():
+        model = config.strudel_line()
+        model.fit(files[:cut])
+        y_true, y_pred = evaluate_lines(model, files[cut:])
+        return (
+            analyze_errors(y_true, y_pred),
+            data_sink_share(y_true, y_pred),
+        )
+
+    patterns, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Difficult cases (Section 6.3.6) — Strudel-L on held-out DeEx",
+        format_error_report(patterns)
+        + f"\n\nminority errors absorbed by 'data': {sink:.0%} "
+        "(paper: misclassified minority lines tend toward 'data')",
+    )
+
+    # When a meaningful number of confusions exists, 'data' appears
+    # among the sinks; with only a handful of stray errors on the
+    # held-out slice there is nothing to assert beyond well-formedness.
+    total_errors = sum(p.count for p in patterns)
+    if total_errors >= 10:
+        sinks = {p.predicted for p in patterns}
+        assert CellClass.DATA in sinks
+    for pattern in patterns:
+        assert 0.0 < pattern.share_of_actual <= 1.0
+    assert 0.0 <= sink <= 1.0

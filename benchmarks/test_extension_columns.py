@@ -1,0 +1,63 @@
+"""Extension — column classification (paper future work iii).
+
+The conclusions ask "whether column classification can help boost the
+classification quality".  This benchmark measures Strudel-C derived-
+cell F1 with and without the column-majority refinement of
+:mod:`repro.core.columns` on a corpus rich in derived columns.
+"""
+
+from __future__ import annotations
+
+from repro.core.columns import refine_cell_predictions
+from repro.core.strudel import StrudelCellClassifier
+from repro.ml.metrics import f1_per_class
+from repro.types import CONTENT_CLASSES, CellClass
+
+
+def _evaluate(config, refine: bool):
+    corpus = config.corpus("deex")
+    files = corpus.files
+    cut = max(1, int(0.8 * len(files)))
+    model = StrudelCellClassifier(
+        n_estimators=config.n_estimators, random_state=config.seed
+    ).fit(files[:cut])
+    y_true, y_pred = [], []
+    for annotated in files[cut:]:
+        predictions = model.predict(annotated.table)
+        if refine:
+            predictions = refine_cell_predictions(
+                predictions, annotated.table
+            )
+        for i, j, truth in annotated.non_empty_cell_items():
+            y_true.append(truth)
+            y_pred.append(predictions[(i, j)])
+    return f1_per_class(y_true, y_pred, labels=CONTENT_CLASSES)
+
+
+def test_extension_column_refinement(benchmark, config, report):
+    def run():
+        return {
+            "baseline": _evaluate(config, refine=False),
+            "refined": _evaluate(config, refine=True),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'variant':<10} {'derived F1':>11} {'data F1':>9}"]
+    for name, scores in result.items():
+        lines.append(
+            f"{name:<10} {scores[CellClass.DERIVED]:>11.3f} "
+            f"{scores[CellClass.DATA]:>9.3f}"
+        )
+    report(
+        "Extension — column-majority refinement on DeEx cells",
+        "\n".join(lines),
+    )
+
+    # The refinement must not wreck either class; whether it helps is
+    # the experiment's question (the paper leaves it open).
+    assert result["refined"][CellClass.DERIVED] >= (
+        result["baseline"][CellClass.DERIVED] - 0.05
+    )
+    assert result["refined"][CellClass.DATA] >= (
+        result["baseline"][CellClass.DATA] - 0.02
+    )

@@ -1,0 +1,38 @@
+"""Table 4 — corpus inventory (files / non-empty lines / cells)."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import dataset_summary
+from repro.eval.paper_values import TABLE4_DATASETS
+
+
+def test_table4_datasets(benchmark, config, report):
+    result = benchmark.pedantic(
+        dataset_summary, args=(config,), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'dataset':<10} {'files':>8} {'lines':>10} {'cells':>12}   "
+        f"(paper at scale {config.scale:g})"
+    ]
+    for name, (files, n_lines, n_cells) in result.items():
+        paper_files, paper_lines, paper_cells = TABLE4_DATASETS[name]
+        lines.append(
+            f"{name:<10} {files:>8} {n_lines:>10} {n_cells:>12}"
+        )
+        lines.append(
+            f"{'  (paper)':<10} {paper_files:>8} {paper_lines:>10} "
+            f"{paper_cells:>12}"
+        )
+    report("Table 4 — dataset summary", "\n".join(lines))
+
+    # Shape checks: the corpora keep the paper's relative ordering of
+    # scale: Mendeley has by far the highest lines-per-file ratio and
+    # Troy by far the lowest.
+    per_file = {
+        name: n_lines / files
+        for name, (files, n_lines, _) in result.items()
+    }
+    assert per_file["mendeley"] == max(per_file.values())
+    assert per_file["troy"] == min(per_file.values())
+    for name, (files, n_lines, n_cells) in result.items():
+        assert n_cells > n_lines

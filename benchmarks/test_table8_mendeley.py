@@ -1,0 +1,33 @@
+"""Table 8 — plain-text transfer: train SAUS+CIUS+DeEx, test Mendeley."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import plain_text
+from repro.eval.paper_values import TABLE8_MENDELEY
+from repro.eval.reporting import format_comparison_table
+from repro.types import CellClass
+
+
+def test_table8_mendeley_transfer(benchmark, config, report):
+    result = benchmark.pedantic(
+        plain_text, args=(config,), rounds=1, iterations=1
+    )
+    report(
+        "Table 8 — plain-text F1 on Mendeley "
+        "(trained on SAUS+CIUS+DeEx)",
+        format_comparison_table(
+            f"scale={config.scale:g}", result, TABLE8_MENDELEY
+        ),
+    )
+
+    lines = result["Strudel-L"]
+    # The paper's shape: data is near-perfect (0.999 — these files are
+    # data-dominated), while the minority classes degrade badly under
+    # the domain shift and the delimiter dilemma.
+    assert lines.per_class_f1[CellClass.DATA] > 0.98
+    minority_mean = sum(
+        lines.per_class_f1[klass]
+        for klass in (CellClass.METADATA, CellClass.NOTES, CellClass.GROUP)
+    ) / 3
+    assert minority_mean < lines.per_class_f1[CellClass.DATA]
+    assert lines.macro_f1 < 0.95  # the transfer visibly hurts

@@ -1,0 +1,82 @@
+"""Batch-process an "open data portal" of mixed-dialect files.
+
+Open data portals (data.gov.uk, govdata.de, ...) publish verbose
+plain-text files under wildly different dialects — the paper builds
+its GovUK and Mendeley corpora from exactly such portals.  This
+example simulates a portal dump: files are serialized with assorted
+delimiters and quote characters, then processed end to end (dialect
+detection, parsing, structure detection) and summarized.
+
+Usage::
+
+    python examples/open_data_portal.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import CellClass, Dialect, StrudelPipeline, make_corpus
+from repro.io.writer import write_csv_text
+from repro.ml.metrics import accuracy_score
+
+PORTAL_DIALECTS = [
+    Dialect.standard(),
+    Dialect(delimiter=";"),
+    Dialect(delimiter="\t"),
+    Dialect(delimiter="|", quotechar="'"),
+]
+
+
+def main() -> None:
+    print("Training Strudel on the GovUK personality ...")
+    train = make_corpus("govuk", seed=11, scale=0.05)
+    pipeline = StrudelPipeline(n_estimators=30, random_state=0)
+    pipeline.fit(train.files)
+
+    print("Simulating a portal dump with mixed dialects ...")
+    portal = make_corpus("govuk", seed=99, scale=0.03)
+    dump = [
+        (
+            annotated,
+            PORTAL_DIALECTS[index % len(PORTAL_DIALECTS)],
+        )
+        for index, annotated in enumerate(portal.files)
+    ]
+
+    print(f"Processing {len(dump)} files ...\n")
+    dialect_hits = 0
+    line_scores = []
+    class_totals: Counter[str] = Counter()
+    for annotated, dialect in dump:
+        text = write_csv_text(annotated.table.rows(), dialect)
+        result = pipeline.analyze(text)
+        dialect_hits += result.dialect.delimiter == dialect.delimiter
+
+        y_true = [
+            annotated.line_labels[i]
+            for i in annotated.non_empty_line_indices()
+        ]
+        y_pred = [
+            result.line_classes[i]
+            for i in annotated.non_empty_line_indices()
+        ]
+        line_scores.append(accuracy_score(y_true, y_pred))
+        class_totals.update(k.value for k in y_pred)
+
+    print("Portal processing summary")
+    print("-" * 40)
+    print(f"dialects recovered : {dialect_hits}/{len(dump)}")
+    mean_accuracy = sum(line_scores) / len(line_scores)
+    print(f"mean line accuracy : {mean_accuracy:.3f}")
+    print("\npredicted line classes across the portal:")
+    total = sum(class_totals.values())
+    for klass in CellClass:
+        if klass.value in class_totals:
+            share = class_totals[klass.value] / total
+            bar = "#" * int(50 * share)
+            print(f"  {klass.value:<9} {share:>6.1%} {bar}")
+
+
+if __name__ == "__main__":
+    main()

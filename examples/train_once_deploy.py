@@ -1,0 +1,94 @@
+"""Train once, persist, and deploy: the production workflow.
+
+A downstream service should not retrain Strudel per request.  This
+example trains the cell classifier, saves it with the pickle-free
+persistence layer, reloads it in a fresh "deployment" step, and runs
+the full extract-to-relation flow on an incoming file.
+
+Usage::
+
+    python examples/train_once_deploy.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import CellClass, make_corpus
+from repro.core.extraction import extract_tables
+from repro.core.strudel import StrudelCellClassifier, StructureResult
+from repro.dialect.detector import detect_dialect
+from repro.io.reader import read_table_text
+from repro.io.writer import write_csv_text
+from repro.ml.persistence import load_cell_classifier, save_cell_classifier
+
+INCOMING = """\
+Quarterly Inventory Report
+Prepared by the statistics unit
+,,,
+Warehouse,Widgets,Gadgets,Gizmos
+East,120,45,78
+West,95,61,80
+Total,215,106,158
+,,,
+Note: counts exclude returned units.
+"""
+
+
+def train_and_save(model_dir: Path) -> None:
+    print("[training] generating corpus and fitting Strudel-C ...")
+    corpus = make_corpus("govuk", seed=5, scale=0.05)
+    model = StrudelCellClassifier(n_estimators=30, random_state=0)
+    model.fit(corpus.files)
+    save_cell_classifier(model, model_dir)
+    size_kb = sum(
+        f.stat().st_size for f in model_dir.rglob("*") if f.is_file()
+    ) / 1024
+    print(f"[training] model saved to {model_dir} ({size_kb:.0f} KiB)")
+
+
+def deploy_and_serve(model_dir: Path, text: str) -> None:
+    print("[deploy] loading persisted model (no retraining) ...")
+    model = load_cell_classifier(model_dir)
+
+    dialect = detect_dialect(text)
+    table = read_table_text(text, dialect)
+    line_classes = model.line_classifier.predict(table)
+    cell_classes = model.predict(table)
+    result = StructureResult(
+        dialect=dialect,
+        table=table,
+        line_classes=line_classes,
+        cell_classes=cell_classes,
+    )
+
+    print(f"[deploy] dialect: {dialect.describe()}")
+    tables = extract_tables(result)
+    for index, extracted in enumerate(tables):
+        print(
+            f"[deploy] table {index}: {extracted.n_rows} rows, "
+            f"columns={extracted.columns}"
+        )
+        if extracted.metadata:
+            print(f"         metadata: {extracted.metadata[0]!r}")
+        print("         relation:")
+        print(
+            "\n".join(
+                "           " + line
+                for line in write_csv_text(
+                    extracted.to_grid(include_group_column=False)
+                ).splitlines()
+            )
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        model_dir = Path(scratch) / "strudel-model"
+        train_and_save(model_dir)
+        deploy_and_serve(model_dir, INCOMING)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Baseline and state-of-the-art comparison approaches.
+
+* :class:`~repro.baselines.crf_line.CRFLineClassifier` — CRF-L, the
+  conditional-random-field line classifier of Adelfio & Samet with
+  logarithmic feature binning (stylistic features removed, as in the
+  paper's fair-comparison setup).
+* :class:`~repro.baselines.pytheas.PytheasLineClassifier` — Pytheas-L,
+  the fuzzy-rule table-discovery approach of Christodoulakis et al.;
+  classifies lines into five classes (no ``derived``).
+* :class:`~repro.baselines.rnn_cells.RNNCellClassifier` — RNN-C, the
+  recurrent cell classifier of Ghasemi-Gol et al. over content-only
+  cell embeddings.
+"""
+
+from repro.baselines.crf_line import CRFLineClassifier
+from repro.baselines.pytheas import PytheasLineClassifier
+from repro.baselines.rnn_cells import RNNCellClassifier
+
+__all__ = [
+    "CRFLineClassifier",
+    "PytheasLineClassifier",
+    "RNNCellClassifier",
+]

@@ -1,0 +1,384 @@
+"""Pytheas-L — fuzzy-rule table discovery and line classification.
+
+Re-implementation of the pipeline of Christodoulakis et al. ("Pytheas:
+Pattern-based Table Discovery in CSV Files", PVLDB 2020) at the level
+of detail the paper evaluates:
+
+1. a set of fuzzy *data* / *not-data* rules fires on every line; rule
+   weights are learned from training data (each rule's empirical
+   precision);
+2. the weighted votes are fused into a per-line data confidence, and a
+   threshold yields a binary data/non-data labelling;
+3. maximal runs of data lines become *table bodies*, whose top/bottom
+   borders drive the remaining classification;
+4. class-specific rules label the non-data lines relative to the
+   discovered tables: a line directly above a body is a header
+   candidate, lines above the first header are metadata, single-cell
+   lines between data runs are group headers, lines after the last
+   table are notes.
+
+Like the original, the approach knows *five* classes — it has no
+``derived`` concept — so evaluations exclude derived lines for it,
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.datatypes import infer_data_type, is_numeric_type
+from repro.core.keywords import line_contains_aggregation_keyword
+from repro.types import AnnotatedFile, CellClass, DataType, Table
+from repro.util.text import count_words
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """One fuzzy rule: a predicate over a line plus the class it votes."""
+
+    name: str
+    votes_data: bool
+    fires: Callable[["_LineView"], bool]
+
+
+@dataclass
+class _LineView:
+    """Precomputed per-line facts shared by all rules."""
+
+    index: int
+    n_lines: int
+    cells: list[str]
+    types: list[DataType]
+
+    @property
+    def non_empty(self) -> list[int]:
+        return [
+            j for j, t in enumerate(self.types) if t is not DataType.EMPTY
+        ]
+
+    @property
+    def numeric_ratio(self) -> float:
+        non_empty = self.non_empty
+        if not non_empty:
+            return 0.0
+        numeric = sum(1 for j in non_empty if is_numeric_type(self.types[j]))
+        return numeric / len(non_empty)
+
+
+def _default_rules() -> list[FuzzyRule]:
+    return [
+        FuzzyRule(
+            "numeric_majority", True,
+            lambda v: v.numeric_ratio >= 0.5 and len(v.non_empty) >= 2,
+        ),
+        FuzzyRule(
+            "many_cells", True,
+            lambda v: len(v.non_empty) >= 3,
+        ),
+        FuzzyRule(
+            "leading_key_value_shape", True,
+            lambda v: (
+                len(v.non_empty) >= 2
+                and v.types[v.non_empty[0]] is DataType.STRING
+                and all(
+                    is_numeric_type(v.types[j]) for j in v.non_empty[1:]
+                )
+            ),
+        ),
+        FuzzyRule(
+            "single_leading_cell", False,
+            lambda v: len(v.non_empty) == 1 and v.non_empty[0] == 0,
+        ),
+        FuzzyRule(
+            "long_natural_text", False,
+            lambda v: any(
+                len(v.cells[j].strip()) > 40 or count_words(v.cells[j]) > 6
+                for j in v.non_empty
+            ),
+        ),
+        FuzzyRule(
+            "mostly_empty", False,
+            lambda v: (
+                len(v.types) > 0
+                and len(v.non_empty) / len(v.types) < 0.3
+            ),
+        ),
+        FuzzyRule(
+            "aggregation_keyword", False,
+            lambda v: line_contains_aggregation_keyword(v.cells),
+        ),
+        FuzzyRule(
+            "all_string_cells", False,
+            lambda v: (
+                len(v.non_empty) >= 2
+                and all(
+                    v.types[j] is DataType.STRING for j in v.non_empty
+                )
+            ),
+        ),
+    ]
+
+
+class PytheasLineClassifier:
+    """Fuzzy-rule line classification with learned rule weights.
+
+    Parameters
+    ----------
+    confidence_threshold:
+        Weighted-vote margin above which a line counts as data.
+    """
+
+    def __init__(self, confidence_threshold: float = 0.0):
+        self.confidence_threshold = confidence_threshold
+        self.rules = _default_rules()
+        self._weights: dict[str, float] | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _views(table: Table) -> list[_LineView]:
+        rows = list(table.rows())
+        return [
+            _LineView(
+                index=i,
+                n_lines=len(rows),
+                cells=row,
+                types=[infer_data_type(v) for v in row],
+            )
+            for i, row in enumerate(rows)
+        ]
+
+    # ------------------------------------------------------------------
+    def fit(self, files: list[AnnotatedFile]) -> "PytheasLineClassifier":
+        """Learn each rule's weight as its empirical precision.
+
+        A data-voting rule's weight is the fraction of its firings on
+        lines whose ground truth belongs to the table body (``data`` or
+        ``derived``); a non-data rule symmetrically.  Rules that never
+        fire get weight 0.
+        """
+        fired: dict[str, int] = {r.name: 0 for r in self.rules}
+        correct: dict[str, int] = {r.name: 0 for r in self.rules}
+        body = {CellClass.DATA, CellClass.DERIVED}
+        for annotated in files:
+            views = self._views(annotated.table)
+            for i in annotated.non_empty_line_indices():
+                is_body = annotated.line_labels[i] in body
+                for rule in self.rules:
+                    if rule.fires(views[i]):
+                        fired[rule.name] += 1
+                        if rule.votes_data == is_body:
+                            correct[rule.name] += 1
+        self._weights = {
+            name: (correct[name] / fired[name] if fired[name] else 0.0)
+            for name in fired
+        }
+        return self
+
+    # ------------------------------------------------------------------
+    def data_confidence(self, view: _LineView) -> float:
+        """Weighted data-vs-non-data vote margin in [-1, 1]."""
+        weights = self._weights or {
+            r.name: 1.0 for r in self.rules
+        }
+        score = 0.0
+        total = 0.0
+        for rule in self.rules:
+            if rule.fires(view):
+                weight = weights[rule.name]
+                score += weight if rule.votes_data else -weight
+                total += weight
+        return score / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def predict(self, table: Table) -> list[CellClass]:
+        """Per-line classes; empty lines get ``CellClass.EMPTY``."""
+        views = self._views(table)
+        labels: list[CellClass] = [CellClass.EMPTY] * table.n_rows
+        non_empty = [
+            i for i in range(table.n_rows) if not table.is_empty_row(i)
+        ]
+        if not non_empty:
+            return labels
+
+        is_data = {
+            i: self.data_confidence(views[i]) > self.confidence_threshold
+            for i in non_empty
+        }
+        bodies = self._table_bodies([i for i in non_empty if is_data[i]])
+        if not bodies:
+            # No table discovered: everything readable is metadata,
+            # mirroring Pytheas's behaviour on files without tables.
+            for i in non_empty:
+                labels[i] = CellClass.METADATA
+            return labels
+
+        bodies = [
+            self._shrink_header_from_body(views, start, stop)
+            for start, stop in bodies
+        ]
+        bodies = self._demote_header_stubs(bodies)
+        for start, stop in bodies:
+            for i in range(start, stop + 1):
+                if table.is_empty_row(i):
+                    continue
+                # Lines inside a discovered table that individually
+                # scored non-data and have a single leading cell are
+                # in-table group headers (Pytheas's sub-header rule).
+                if (
+                    not is_data.get(i, False)
+                    and len(views[i].non_empty) == 1
+                    and views[i].non_empty[0] == 0
+                ):
+                    labels[i] = CellClass.GROUP
+                else:
+                    labels[i] = CellClass.DATA
+
+        first_start = bodies[0][0]
+        last_stop = bodies[-1][1]
+        self._label_headers(table, views, labels, bodies, non_empty)
+        for i in non_empty:
+            if labels[i] is not CellClass.EMPTY:
+                continue
+            if i < first_start:
+                labels[i] = CellClass.METADATA
+            elif i > last_stop:
+                labels[i] = CellClass.NOTES
+            else:
+                # Between bodies: single leading cell lines are group
+                # headers; anything else is metadata of the next table.
+                view = views[i]
+                if len(view.non_empty) == 1:
+                    labels[i] = CellClass.GROUP
+                else:
+                    labels[i] = CellClass.METADATA
+        return labels
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _table_bodies(data_lines: list[int]) -> list[tuple[int, int]]:
+        """Merge data lines into maximal bodies, bridging 1-line gaps."""
+        if not data_lines:
+            return []
+        bodies: list[tuple[int, int]] = []
+        start = previous = data_lines[0]
+        for i in data_lines[1:]:
+            if i - previous <= 2:
+                previous = i
+                continue
+            bodies.append((start, previous))
+            start = previous = i
+        bodies.append((start, previous))
+        return bodies
+
+    @staticmethod
+    def _demote_header_stubs(
+        bodies: list[tuple[int, int]]
+    ) -> list[tuple[int, int]]:
+        """Drop tiny bodies that sit directly above a larger one.
+
+        A one- or two-line "table" a couple of lines above a real body
+        is almost always that body's header block misjudged as data;
+        demoting it lets the header rules reconsider those lines.
+        """
+        kept: list[tuple[int, int]] = []
+        for index, (start, stop) in enumerate(bodies):
+            is_stub = (stop - start + 1) <= 2
+            followed_closely = (
+                index + 1 < len(bodies)
+                and bodies[index + 1][0] - stop <= 4
+                and (bodies[index + 1][1] - bodies[index + 1][0]) > 2
+            )
+            if is_stub and followed_closely:
+                continue
+            kept.append((start, stop))
+        return kept or bodies
+
+    @staticmethod
+    def _shrink_header_from_body(
+        views: list[_LineView], start: int, stop: int
+    ) -> tuple[int, int]:
+        """Pop misjudged header lines off the top of a body.
+
+        The original Pytheas re-examines discovered table tops: a first
+        line whose cell types diverge from the rest of the body (e.g.
+        a row of year numbers over float data, or strings over
+        numbers) is a header, not data.  We compare the type profile
+        of up to two leading lines against the body majority.
+        """
+        if stop - start < 2:
+            return start, stop
+        def profile(view: _LineView) -> tuple[float, int]:
+            return view.numeric_ratio, len(view.non_empty)
+
+        body_ratios = [
+            views[i].numeric_ratio for i in range(start + 2, stop + 1)
+            if views[i].non_empty
+        ]
+        if not body_ratios:
+            return start, stop
+        typical = float(np.median(body_ratios))
+        new_start = start
+        for i in (start, start + 1):
+            if i >= stop:
+                break
+            view = views[i]
+            if not view.non_empty:
+                break
+            ratio = view.numeric_ratio
+            looks_like_header = (
+                abs(ratio - typical) > 0.4
+                or all(
+                    view.types[j] in (DataType.STRING, DataType.DATE)
+                    for j in view.non_empty
+                )
+            )
+            if looks_like_header and new_start == i:
+                new_start = i + 1
+            else:
+                break
+        if new_start > stop - 1:
+            return start, stop
+        return new_start, stop
+
+    def _label_headers(
+        self,
+        table: Table,
+        views: list[_LineView],
+        labels: list[CellClass],
+        bodies: list[tuple[int, int]],
+        non_empty: list[int],
+    ) -> None:
+        """Mark up to two header lines directly above each body."""
+        non_empty_set = set(non_empty)
+        for start, _ in bodies:
+            remaining = 2
+            i = start - 1
+            while i >= 0 and remaining > 0:
+                if table.is_empty_row(i):
+                    i -= 1
+                    continue
+                if i not in non_empty_set or labels[i] is not CellClass.EMPTY:
+                    break
+                view = views[i]
+                # Group headers may sit between the header block and
+                # the data (the paper allows group above and below
+                # headers): label them and keep scanning upward.
+                if len(view.non_empty) == 1 and view.non_empty[0] == 0:
+                    labels[i] = CellClass.GROUP
+                    i -= 1
+                    continue
+                # A header candidate has several cells and is not one
+                # long natural-language sentence.
+                wide = len(view.non_empty) >= 2
+                wordy = any(
+                    count_words(view.cells[j]) > 6 for j in view.non_empty
+                )
+                if wide and not wordy:
+                    labels[i] = CellClass.HEADER
+                    remaining -= 1
+                    i -= 1
+                else:
+                    break

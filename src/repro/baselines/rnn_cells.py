@@ -1,0 +1,95 @@
+"""RNN-C — recurrent cell classification over content embeddings.
+
+The comparison baseline of Ghasemi-Gol et al. (ICDM 2019): cells are
+embedded, a bidirectional recurrent network propagates context along
+each line, and every cell receives a softmax class.  The paper
+evaluates the authors' style-less variant, which is what this module
+reproduces (see :mod:`repro.baselines.embeddings` for the embedding
+substitution note).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.embeddings import embed_rows
+from repro.errors import NotFittedError
+from repro.ml.rnn import SequenceRNNClassifier
+from repro.types import (
+    CLASS_TO_INDEX,
+    INDEX_TO_CLASS,
+    AnnotatedFile,
+    CellClass,
+    Table,
+)
+
+
+class RNNCellClassifier:
+    """Bidirectional RNN over per-line cell embedding sequences.
+
+    Parameters
+    ----------
+    hidden_size, epochs, learning_rate, batch_size, random_state:
+        Passed through to the underlying
+        :class:`~repro.ml.rnn.SequenceRNNClassifier`.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        epochs: int = 12,
+        learning_rate: float = 1e-2,
+        batch_size: int = 64,
+        random_state: int | None = None,
+    ):
+        self._rnn = SequenceRNNClassifier(
+            hidden_size=hidden_size,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            random_state=random_state,
+        )
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, files: list[AnnotatedFile]) -> "RNNCellClassifier":
+        """Train on the non-empty cell sequences of ``files``."""
+        sequences: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        for annotated in files:
+            positions, embedded = embed_rows(annotated.table)
+            for line_positions, sequence in zip(positions, embedded):
+                sequences.append(sequence)
+                labels.append(
+                    np.array(
+                        [
+                            CLASS_TO_INDEX[annotated.cell_labels[i][j]]
+                            for i, j in line_positions
+                        ]
+                    )
+                )
+        self._rnn.fit(sequences, labels)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_with_positions(
+        self, table: Table
+    ) -> tuple[list[tuple[int, int]], list[CellClass]]:
+        """Positions and predicted classes of all non-empty cells."""
+        if not self._fitted:
+            raise NotFittedError("RNNCellClassifier must be fitted first")
+        positions, embedded = embed_rows(table)
+        flat_positions: list[tuple[int, int]] = []
+        flat_labels: list[CellClass] = []
+        if embedded:
+            predictions = self._rnn.predict(embedded)
+            for line_positions, path in zip(positions, predictions):
+                flat_positions.extend(line_positions)
+                flat_labels.extend(INDEX_TO_CLASS[int(k)] for k in path)
+        return flat_positions, flat_labels
+
+    def predict(self, table: Table) -> dict[tuple[int, int], CellClass]:
+        """Mapping from non-empty cell positions to predicted classes."""
+        positions, labels = self.predict_with_positions(table)
+        return dict(zip(positions, labels))

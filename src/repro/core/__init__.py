@@ -1,0 +1,52 @@
+"""The Strudel core: features, algorithms and classifiers.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.datatypes` — cell data-type inference (int, float,
+  string, date).
+* :mod:`repro.core.keywords` — the aggregation keyword dictionary.
+* :mod:`repro.core.blocks` — Algorithm 1 (block size via connected
+  components of non-empty cells).
+* :mod:`repro.core.derived` — Algorithm 2 (keyword-anchored derived
+  cell detection for sum and mean).
+* :mod:`repro.core.line_features` — the Table 1 line feature set.
+* :mod:`repro.core.cell_features` — the Table 2 cell feature set.
+* :mod:`repro.core.strudel` — ``StrudelLineClassifier`` (Strudel-L),
+  ``StrudelCellClassifier`` (Strudel-C), the ``LineToCellBaseline``
+  (Line-C) and the end-to-end :class:`~repro.core.strudel.StrudelPipeline`.
+"""
+
+from repro.core.blocks import block_sizes, normalized_block_sizes
+from repro.core.columns import ColumnClassifier, refine_cell_predictions
+from repro.core.datatypes import infer_data_type, parse_number
+from repro.core.derived import DerivedDetector
+from repro.core.cell_features import CellFeatureExtractor
+from repro.core.extraction import ExtractedTable, extract_tables
+from repro.core.keywords import AGGREGATION_KEYWORDS, contains_aggregation_keyword
+from repro.core.line_features import LineFeatureExtractor
+from repro.core.strudel import (
+    LineToCellBaseline,
+    StrudelCellClassifier,
+    StrudelLineClassifier,
+    StrudelPipeline,
+)
+
+__all__ = [
+    "AGGREGATION_KEYWORDS",
+    "CellFeatureExtractor",
+    "ColumnClassifier",
+    "DerivedDetector",
+    "ExtractedTable",
+    "LineFeatureExtractor",
+    "LineToCellBaseline",
+    "StrudelCellClassifier",
+    "StrudelLineClassifier",
+    "StrudelPipeline",
+    "block_sizes",
+    "contains_aggregation_keyword",
+    "extract_tables",
+    "infer_data_type",
+    "normalized_block_sizes",
+    "parse_number",
+    "refine_cell_predictions",
+]

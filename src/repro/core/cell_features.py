@@ -1,0 +1,225 @@
+"""The Strudel-C cell feature set (Table 2 of the paper).
+
+Features are produced for every *non-empty* cell (only those are
+classified).  The 37 columns:
+
+===========================  =========================================
+Content (13)                 ValueLength, DataType,
+                             HasDerivedKeywords,
+                             RowHasDerivedKeywords,
+                             ColumnHasDerivedKeywords, RowPosition,
+                             ColumnPosition, LineClassProbability
+                             (six columns, one per class)
+Contextual (23)              IsEmptyRowBefore, IsEmptyRowAfter,
+                             IsEmptyColumnLeft, IsEmptyColumnRight,
+                             RowEmptyCellRatio, ColumnEmptyCellRatio,
+                             BlockSize, NeighborValueLength (eight
+                             surrounding cells), NeighborDataType
+                             (eight surrounding cells)
+Computational (1)            IsAggregation
+===========================  =========================================
+
+Conventions (the paper leaves these implicit):
+
+* ``ValueLength`` and the neighbour value lengths are normalized per
+  file by the longest cell value, keeping them in [0, 1];
+* neighbours outside the table get the paper's ``-1`` default for both
+  value length and data type;
+* a row/column adjacent to the file boundary counts as "empty" for the
+  ``IsEmptyRowBefore/After`` and ``IsEmptyColumnLeft/Right`` flags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import normalized_block_sizes
+from repro.core.datatypes import infer_data_type
+from repro.core.derived import DerivedDetector
+from repro.core.keywords import contains_aggregation_keyword
+from repro.types import CONTENT_CLASSES, DataType, MISSING_NEIGHBOR, Table
+
+_NEIGHBOR_OFFSETS: tuple[tuple[int, int], ...] = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+_NEIGHBOR_TAGS: tuple[str, ...] = (
+    "nw", "n", "ne", "w", "e", "sw", "s", "se"
+)
+
+CELL_FEATURE_NAMES: tuple[str, ...] = (
+    (
+        "value_length",
+        "data_type",
+        "has_derived_keywords",
+        "row_has_derived_keywords",
+        "column_has_derived_keywords",
+        "row_position",
+        "column_position",
+    )
+    + tuple(f"line_class_probability_{c.value}" for c in CONTENT_CLASSES)
+    + (
+        "is_empty_row_before",
+        "is_empty_row_after",
+        "is_empty_column_left",
+        "is_empty_column_right",
+        "row_empty_cell_ratio",
+        "column_empty_cell_ratio",
+        "block_size",
+    )
+    + tuple(f"neighbor_value_length_{tag}" for tag in _NEIGHBOR_TAGS)
+    + tuple(f"neighbor_data_type_{tag}" for tag in _NEIGHBOR_TAGS)
+    + ("is_aggregation",)
+)
+
+#: Feature-group partition used by the feature-group ablation.
+CELL_FEATURE_GROUPS: dict[str, tuple[str, ...]] = {
+    "content": CELL_FEATURE_NAMES[:13],
+    "contextual": CELL_FEATURE_NAMES[13:36],
+    "computational": CELL_FEATURE_NAMES[36:],
+}
+
+
+class CellFeatureExtractor:
+    """Computes the Table 2 feature matrix for all non-empty cells.
+
+    Parameters
+    ----------
+    detector:
+        Derived cell detector behind ``IsAggregation``; defaults to
+        the paper's configuration.
+    """
+
+    def __init__(self, detector: DerivedDetector | None = None):
+        self.detector = detector or DerivedDetector()
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Column names of the matrix produced by :meth:`extract`."""
+        return CELL_FEATURE_NAMES
+
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        table: Table,
+        line_probabilities: np.ndarray | None = None,
+    ) -> tuple[list[tuple[int, int]], np.ndarray]:
+        """Positions and features of every non-empty cell.
+
+        Parameters
+        ----------
+        table:
+            The verbose CSV table.
+        line_probabilities:
+            ``(n_rows, 6)`` matrix of Strudel-L class probabilities.
+            ``None`` falls back to the uninformative uniform vector so
+            the extractor can run stand-alone.
+
+        Returns
+        -------
+        positions, features:
+            ``positions[i]`` is the ``(row, col)`` of feature row ``i``.
+        """
+        n_rows, n_cols = table.shape
+        if line_probabilities is None:
+            line_probabilities = np.full(
+                (n_rows, len(CONTENT_CLASSES)), 1.0 / len(CONTENT_CLASSES)
+            )
+        if line_probabilities.shape != (n_rows, len(CONTENT_CLASSES)):
+            raise ValueError(
+                f"line_probabilities must have shape "
+                f"({n_rows}, {len(CONTENT_CLASSES)}), got "
+                f"{line_probabilities.shape}"
+            )
+
+        rows = list(table.rows())
+        types = np.array(
+            [[int(infer_data_type(v)) for v in row] for row in rows],
+            dtype=np.float64,
+        )
+        lengths = np.array(
+            [[float(len(v.strip())) for v in row] for row in rows],
+            dtype=np.float64,
+        )
+        max_length = lengths.max() if lengths.size else 1.0
+        if max_length <= 0:
+            max_length = 1.0
+        norm_lengths = lengths / max_length
+
+        empty = types == float(DataType.EMPTY)
+        empty_row = empty.all(axis=1)
+        empty_col = empty.all(axis=0)
+        row_empty_ratio = empty.mean(axis=1)
+        col_empty_ratio = empty.mean(axis=0)
+
+        keyword = np.zeros((n_rows, n_cols), dtype=bool)
+        for i, row in enumerate(rows):
+            for j, value in enumerate(row):
+                if value.strip() and contains_aggregation_keyword(value):
+                    keyword[i, j] = True
+        row_keyword = keyword.any(axis=1)
+        col_keyword = keyword.any(axis=0)
+
+        blocks = normalized_block_sizes(table)
+        derived = self.detector.detect(table)
+
+        positions: list[tuple[int, int]] = []
+        feature_rows: list[np.ndarray] = []
+        for cell in table.non_empty_cells():
+            i, j = cell.row, cell.col
+            positions.append((i, j))
+            feature_rows.append(
+                self._cell_features(
+                    i, j, n_rows, n_cols, types, norm_lengths, empty_row,
+                    empty_col, row_empty_ratio, col_empty_ratio, keyword,
+                    row_keyword, col_keyword, blocks, derived,
+                    line_probabilities,
+                )
+            )
+        if feature_rows:
+            return positions, np.vstack(feature_rows)
+        return positions, np.zeros((0, len(CELL_FEATURE_NAMES)))
+
+    # ------------------------------------------------------------------
+    def _cell_features(
+        self, i, j, n_rows, n_cols, types, norm_lengths, empty_row,
+        empty_col, row_empty_ratio, col_empty_ratio, keyword, row_keyword,
+        col_keyword, blocks, derived, line_probabilities,
+    ) -> np.ndarray:
+        content = [
+            norm_lengths[i, j],
+            types[i, j],
+            1.0 if keyword[i, j] else 0.0,
+            1.0 if row_keyword[i] else 0.0,
+            1.0 if col_keyword[j] else 0.0,
+            i / (n_rows - 1) if n_rows > 1 else 0.0,
+            j / (n_cols - 1) if n_cols > 1 else 0.0,
+        ]
+        content.extend(float(p) for p in line_probabilities[i])
+
+        contextual = [
+            1.0 if (i == 0 or empty_row[i - 1]) else 0.0,
+            1.0 if (i == n_rows - 1 or empty_row[i + 1]) else 0.0,
+            1.0 if (j == 0 or empty_col[j - 1]) else 0.0,
+            1.0 if (j == n_cols - 1 or empty_col[j + 1]) else 0.0,
+            float(row_empty_ratio[i]),
+            float(col_empty_ratio[j]),
+            blocks.get((i, j), 0.0),
+        ]
+        neighbor_lengths = []
+        neighbor_types = []
+        for di, dj in _NEIGHBOR_OFFSETS:
+            ni, nj = i + di, j + dj
+            if 0 <= ni < n_rows and 0 <= nj < n_cols:
+                neighbor_lengths.append(float(norm_lengths[ni, nj]))
+                neighbor_types.append(float(types[ni, nj]))
+            else:
+                neighbor_lengths.append(float(MISSING_NEIGHBOR))
+                neighbor_types.append(float(MISSING_NEIGHBOR))
+
+        computational = [1.0 if (i, j) in derived else 0.0]
+        return np.array(
+            content + contextual + neighbor_lengths + neighbor_types
+            + computational
+        )

@@ -1,0 +1,234 @@
+"""Relational table extraction from classified structure.
+
+Structure detection is "an important preliminary task for extracting
+information" (the paper's framing): once every line is classified,
+the relational tables buried in a verbose CSV file can be pulled out
+mechanically.  This module performs that final step:
+
+* the file is segmented into *table regions* — maximal vertical spans
+  of header/group/data/derived lines (tables are stacked vertically,
+  per the paper's layout constraints);
+* each region yields an :class:`ExtractedTable`: column names from
+  its header lines, data rows with their group context resolved
+  (group lines and leading group cells become a ``group`` attribute),
+  derived lines dropped or kept on request;
+* surrounding metadata and notes lines are attached as provenance.
+
+The result is machine-readable in the paper's sense: every extracted
+table is a rectangular relation with a header and homogeneous rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.strudel import StructureResult
+from repro.types import CellClass, Table
+
+#: Line classes that belong to a table region.
+_REGION_CLASSES = frozenset(
+    {CellClass.HEADER, CellClass.GROUP, CellClass.DATA, CellClass.DERIVED}
+)
+
+
+@dataclass
+class ExtractedRow:
+    """One relational tuple with its group context."""
+
+    values: list[str]
+    group: str | None
+    source_line: int
+    is_derived: bool = False
+
+
+@dataclass
+class ExtractedTable:
+    """A relational table recovered from one region of a verbose file."""
+
+    columns: list[str]
+    rows: list[ExtractedRow] = field(default_factory=list)
+    metadata: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    first_line: int = 0
+    last_line: int = 0
+
+    @property
+    def n_rows(self) -> int:
+        """Number of extracted data tuples."""
+        return len(self.rows)
+
+    def to_grid(self, include_group_column: bool = True) -> list[list[str]]:
+        """The relation as a list of rows, header first.
+
+        With ``include_group_column`` a leading ``group`` column holds
+        each tuple's resolved group context.
+        """
+        if include_group_column:
+            header = ["group"] + self.columns
+            body = [
+                [row.group or ""] + row.values for row in self.rows
+            ]
+        else:
+            header = list(self.columns)
+            body = [list(row.values) for row in self.rows]
+        return [header] + body
+
+
+def _segment_regions(
+    line_classes: list[CellClass],
+) -> list[tuple[int, int]]:
+    """Maximal spans of table-region lines, bridging empty separators.
+
+    Empty lines *inside* a region (e.g. between header and data, or
+    between table fractions) do not split it; a metadata or notes line
+    does.
+    """
+    regions: list[tuple[int, int]] = []
+    start: int | None = None
+    last_region_line: int | None = None
+    for i, klass in enumerate(line_classes):
+        if klass in _REGION_CLASSES:
+            if start is None:
+                start = i
+            last_region_line = i
+        elif klass is not CellClass.EMPTY and start is not None:
+            regions.append((start, last_region_line))
+            start = None
+    if start is not None:
+        regions.append((start, last_region_line))
+    return regions
+
+
+def _header_names(
+    table: Table, header_lines: list[int], width: int
+) -> list[str]:
+    """Column names from the region's header lines.
+
+    Multiple header lines are joined top-down per column; columns with
+    no header text get positional names (``column_3``) so the relation
+    always has a complete header — the paper notes real tables often
+    leave the key column unlabelled.
+    """
+    names: list[str] = []
+    for j in range(width):
+        parts = [
+            table.cell(i, j).strip()
+            for i in header_lines
+            if table.cell(i, j).strip()
+        ]
+        names.append(" ".join(parts) if parts else f"column_{j}")
+    return names
+
+
+def _line_group_label(
+    table: Table, i: int, cell_classes: dict[tuple[int, int], CellClass]
+) -> str | None:
+    """The group text carried *inside* line ``i``, if any."""
+    labels = [
+        table.cell(i, j).strip()
+        for j in range(table.n_cols)
+        if cell_classes.get((i, j)) is CellClass.GROUP
+    ]
+    return " ".join(labels) if labels else None
+
+
+def extract_tables(
+    result: StructureResult,
+    keep_derived: bool = False,
+) -> list[ExtractedTable]:
+    """Extract every relational table from a classified file.
+
+    Parameters
+    ----------
+    result:
+        Output of :meth:`StrudelPipeline.analyze` (or
+        ``analyze_table``).
+    keep_derived:
+        Whether derived (aggregate) lines become rows (flagged
+        ``is_derived``) or are dropped — dropping is the right choice
+        when loading into a database, since aggregates are recomputable.
+    """
+    table = result.table
+    line_classes = result.line_classes
+    regions = _segment_regions(line_classes)
+
+    extracted: list[ExtractedTable] = []
+    for index, (start, stop) in enumerate(regions):
+        lines = list(range(start, stop + 1))
+        header_lines = [
+            i for i in lines if line_classes[i] is CellClass.HEADER
+        ]
+        columns = _header_names(table, header_lines, table.n_cols)
+
+        current_group: str | None = None
+        rows: list[ExtractedRow] = []
+        for i in lines:
+            klass = line_classes[i]
+            if klass is CellClass.GROUP:
+                non_empty = [v for v in table.row(i) if v.strip()]
+                current_group = " ".join(non_empty) or current_group
+                continue
+            if klass is CellClass.DATA or (
+                keep_derived and klass is CellClass.DERIVED
+            ):
+                inline_group = _line_group_label(
+                    table, i, result.cell_classes
+                )
+                rows.append(
+                    ExtractedRow(
+                        values=table.row(i),
+                        group=inline_group or current_group,
+                        source_line=i,
+                        is_derived=klass is CellClass.DERIVED,
+                    )
+                )
+        metadata = _context_lines(
+            table, line_classes, regions, index, CellClass.METADATA
+        )
+        notes = _context_lines(
+            table, line_classes, regions, index, CellClass.NOTES
+        )
+        extracted.append(
+            ExtractedTable(
+                columns=columns,
+                rows=rows,
+                metadata=metadata,
+                notes=notes,
+                first_line=start,
+                last_line=stop,
+            )
+        )
+    return extracted
+
+
+def _context_lines(
+    table: Table,
+    line_classes: list[CellClass],
+    regions: list[tuple[int, int]],
+    index: int,
+    klass: CellClass,
+) -> list[str]:
+    """Metadata above / notes below the region, as joined line texts.
+
+    Metadata lines between the previous region and this one belong to
+    this table; notes between this region and the next belong to this
+    one — matching the class definitions (metadata precedes, notes
+    follow).
+    """
+    start, stop = regions[index]
+    if klass is CellClass.METADATA:
+        lower = regions[index - 1][1] + 1 if index > 0 else 0
+        upper = start
+    else:
+        lower = stop + 1
+        upper = (
+            regions[index + 1][0]
+            if index + 1 < len(regions)
+            else table.n_rows
+        )
+    texts: list[str] = []
+    for i in range(lower, upper):
+        if line_classes[i] is klass:
+            non_empty = [v.strip() for v in table.row(i) if v.strip()]
+            texts.append(" ".join(non_empty))
+    return texts

@@ -1,0 +1,32 @@
+"""The aggregation keyword dictionary (Section 4, ``AggregationWord``).
+
+The paper uses a fixed, case-insensitive dictionary of "terms
+associated with aggregation in tables": *total, all, sum, average,
+avg, mean, median*.  The same dictionary anchors candidate cells in
+the derived cell detection Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from repro.util.text import tokenize_words
+
+#: The paper's aggregation term dictionary, lower-cased.
+AGGREGATION_KEYWORDS: frozenset[str] = frozenset(
+    {"total", "all", "sum", "average", "avg", "mean", "median"}
+)
+
+
+def contains_aggregation_keyword(text: str) -> bool:
+    """Whether any word of ``text`` is an aggregation keyword.
+
+    Matching is word-based and case-insensitive: ``"Grand Total:"``
+    matches, ``"totally"`` does not.
+    """
+    return any(
+        word.lower() in AGGREGATION_KEYWORDS for word in tokenize_words(text)
+    )
+
+
+def line_contains_aggregation_keyword(cells: list[str]) -> bool:
+    """Whether any cell of a line contains an aggregation keyword."""
+    return any(contains_aggregation_keyword(cell) for cell in cells)

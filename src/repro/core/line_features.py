@@ -1,0 +1,278 @@
+"""The Strudel-L line feature set (Table 1 of the paper).
+
+Eleven logical features in three groups; the three contextual features
+are applied twice (once toward the closest non-empty line above, once
+below), giving 14 feature columns:
+
+========================  ============================================
+Content                   EmptyCellRatio, DiscountedCumulativeGain,
+                          AggregationWord, WordAmount,
+                          NumericalCellRatio, StringCellRatio,
+                          LinePosition
+Contextual (above/below)  DataTypeMatching, EmptyNeighboringLines,
+                          CellLengthDifference
+Computational             DerivedCoverage
+========================  ============================================
+
+Conventions at file boundaries (documented here because the paper
+leaves them implicit):
+
+* a line with no non-empty neighbour in a direction scores 0.0 on
+  ``DataTypeMatching`` and 1.0 on ``CellLengthDifference`` (nothing to
+  match; maximally different);
+* ``EmptyNeighboringLines`` counts positions beyond the file as empty,
+  with a fixed denominator of five.
+
+The extractor can optionally append the paper's rejected *global*
+features (file-level emptiness, width, length, empty-block count) for
+the ablation experiment that reproduces the finding of "no positive
+impact".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datatypes import infer_data_type, is_numeric_type
+from repro.core.derived import DerivedDetector
+from repro.core.keywords import line_contains_aggregation_keyword
+from repro.types import DataType, Table
+from repro.util.stats import (
+    bhattacharyya_distance,
+    discounted_cumulative_gain,
+    histogram,
+    min_max_normalize,
+)
+from repro.util.text import count_words
+
+#: Histogram geometry for ``CellLengthDifference``.
+_LENGTH_BINS = 10
+_LENGTH_RANGE = (0.0, 50.0)
+
+#: Window size for ``EmptyNeighboringLines``.
+_NEIGHBOR_WINDOW = 5
+
+LINE_FEATURE_NAMES: tuple[str, ...] = (
+    "empty_cell_ratio",
+    "discounted_cumulative_gain",
+    "aggregation_word",
+    "word_amount",
+    "numerical_cell_ratio",
+    "string_cell_ratio",
+    "line_position",
+    "data_type_matching_above",
+    "data_type_matching_below",
+    "empty_neighboring_lines_above",
+    "empty_neighboring_lines_below",
+    "cell_length_difference_above",
+    "cell_length_difference_below",
+    "derived_coverage",
+)
+
+GLOBAL_FEATURE_NAMES: tuple[str, ...] = (
+    "global_empty_line_ratio",
+    "global_file_width",
+    "global_file_length",
+    "global_empty_block_count",
+)
+
+#: Feature-group partition used by the feature-group ablation.
+LINE_FEATURE_GROUPS: dict[str, tuple[str, ...]] = {
+    "content": LINE_FEATURE_NAMES[:7],
+    "contextual": LINE_FEATURE_NAMES[7:13],
+    "computational": LINE_FEATURE_NAMES[13:14],
+}
+
+
+class LineFeatureExtractor:
+    """Computes the Table 1 feature matrix for every line of a table.
+
+    Parameters
+    ----------
+    detector:
+        The derived cell detector backing ``DerivedCoverage``;
+        defaults to the paper's configuration (``d=0.1``, ``c=0.5``).
+    include_global_features:
+        Append the four rejected global features (ablation only).
+    """
+
+    def __init__(
+        self,
+        detector: DerivedDetector | None = None,
+        include_global_features: bool = False,
+    ):
+        self.detector = detector or DerivedDetector()
+        self.include_global_features = include_global_features
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Column names of the matrix produced by :meth:`extract`."""
+        if self.include_global_features:
+            return LINE_FEATURE_NAMES + GLOBAL_FEATURE_NAMES
+        return LINE_FEATURE_NAMES
+
+    # ------------------------------------------------------------------
+    def extract(self, table: Table) -> np.ndarray:
+        """Feature matrix of shape ``(n_rows, n_features)``.
+
+        Rows are produced for *every* line, including empty ones, so
+        callers can index by the original line number; the classifiers
+        select only non-empty lines.
+        """
+        n_rows, n_cols = table.shape
+        rows = list(table.rows())
+        types = [
+            [infer_data_type(value) for value in row] for row in rows
+        ]
+        empty_line = [table.is_empty_row(i) for i in range(n_rows)]
+        derived_cells = self.detector.detect(table)
+
+        word_counts = [
+            float(sum(count_words(value) for value in row)) for row in rows
+        ]
+        word_normalized = min_max_normalize(word_counts)
+
+        above = self._closest_non_empty(empty_line, direction=-1)
+        below = self._closest_non_empty(empty_line, direction=+1)
+
+        features = np.zeros((n_rows, len(self.feature_names)))
+        for i in range(n_rows):
+            features[i, :14] = self._line_features(
+                i, rows, types, empty_line, derived_cells,
+                word_normalized[i], above[i], below[i], n_rows, n_cols,
+            )
+        if self.include_global_features:
+            features[:, 14:] = self._global_features(empty_line, n_rows,
+                                                     n_cols)
+        return features
+
+    # ------------------------------------------------------------------
+    def _line_features(
+        self,
+        i: int,
+        rows: list[list[str]],
+        types: list[list[DataType]],
+        empty_line: list[bool],
+        derived_cells: set[tuple[int, int]],
+        word_amount: float,
+        above: int | None,
+        below: int | None,
+        n_rows: int,
+        n_cols: int,
+    ) -> np.ndarray:
+        row = rows[i]
+        row_types = types[i]
+        non_empty = [j for j, t in enumerate(row_types)
+                     if t is not DataType.EMPTY]
+        n_non_empty = len(non_empty)
+
+        empty_ratio = 1.0 - n_non_empty / n_cols if n_cols else 1.0
+        dcg = discounted_cumulative_gain(
+            [0.0 if t is DataType.EMPTY else 1.0 for t in row_types]
+        )
+        aggregation = 1.0 if line_contains_aggregation_keyword(row) else 0.0
+        numeric = sum(
+            1 for j in non_empty if is_numeric_type(row_types[j])
+        )
+        strings = sum(
+            1 for j in non_empty if row_types[j] is DataType.STRING
+        )
+        numeric_ratio = numeric / n_non_empty if n_non_empty else 0.0
+        string_ratio = strings / n_non_empty if n_non_empty else 0.0
+        position = i / (n_rows - 1) if n_rows > 1 else 0.0
+
+        matching_above = self._data_type_matching(row_types, types, above)
+        matching_below = self._data_type_matching(row_types, types, below)
+        empties_above = self._empty_neighbor_ratio(empty_line, i, -1)
+        empties_below = self._empty_neighbor_ratio(empty_line, i, +1)
+        length_above = self._cell_length_difference(row, rows, above)
+        length_below = self._cell_length_difference(row, rows, below)
+
+        derived_in_line = sum(
+            1
+            for j in non_empty
+            if is_numeric_type(row_types[j]) and (i, j) in derived_cells
+        )
+        derived_coverage = derived_in_line / numeric if numeric else 0.0
+
+        return np.array([
+            empty_ratio, dcg, aggregation, word_amount, numeric_ratio,
+            string_ratio, position, matching_above, matching_below,
+            empties_above, empties_below, length_above, length_below,
+            derived_coverage,
+        ])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _closest_non_empty(
+        empty_line: list[bool], direction: int
+    ) -> list[int | None]:
+        """For each line, the index of the closest non-empty line in
+        ``direction`` (-1 above, +1 below), or ``None`` at the boundary."""
+        n = len(empty_line)
+        result: list[int | None] = [None] * n
+        last: int | None = None
+        order = range(n) if direction < 0 else range(n - 1, -1, -1)
+        for i in order:
+            result[i] = last
+            if not empty_line[i]:
+                last = i
+        return result
+
+    @staticmethod
+    def _data_type_matching(
+        row_types: list[DataType],
+        types: list[list[DataType]],
+        neighbour: int | None,
+    ) -> float:
+        if neighbour is None:
+            return 0.0
+        other = types[neighbour]
+        matches = sum(1 for a, b in zip(row_types, other) if a == b)
+        return matches / len(row_types) if row_types else 0.0
+
+    @staticmethod
+    def _empty_neighbor_ratio(
+        empty_line: list[bool], i: int, direction: int
+    ) -> float:
+        """Share of empty lines among the five lines above/below;
+        positions beyond the file count as empty."""
+        empties = 0
+        for step in range(1, _NEIGHBOR_WINDOW + 1):
+            j = i + direction * step
+            if j < 0 or j >= len(empty_line) or empty_line[j]:
+                empties += 1
+        return empties / _NEIGHBOR_WINDOW
+
+    @staticmethod
+    def _cell_length_difference(
+        row: list[str], rows: list[list[str]], neighbour: int | None
+    ) -> float:
+        if neighbour is None:
+            return 1.0
+        lengths_here = [float(len(v.strip())) for v in row if v.strip()]
+        lengths_there = [
+            float(len(v.strip())) for v in rows[neighbour] if v.strip()
+        ]
+        hist_here = histogram(lengths_here, _LENGTH_BINS, *_LENGTH_RANGE)
+        hist_there = histogram(lengths_there, _LENGTH_BINS, *_LENGTH_RANGE)
+        return bhattacharyya_distance(hist_here, hist_there)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _global_features(
+        empty_line: list[bool], n_rows: int, n_cols: int
+    ) -> np.ndarray:
+        """The paper's rejected file-level features (ablation S2)."""
+        empty_ratio = sum(empty_line) / n_rows if n_rows else 0.0
+        # Width and length squashed to [0, 1] with a soft saturation.
+        width = n_cols / (n_cols + 25.0)
+        length = n_rows / (n_rows + 100.0)
+        blocks = 0
+        previous = False
+        for is_empty in empty_line:
+            if is_empty and not previous:
+                blocks += 1
+            previous = is_empty
+        block_count = blocks / (blocks + 5.0)
+        return np.array([empty_ratio, width, length, block_count])

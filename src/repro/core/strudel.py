@@ -1,0 +1,337 @@
+"""Strudel classifiers: line level, cell level, and the full pipeline.
+
+* :class:`StrudelLineClassifier` — Strudel-L, a multi-class random
+  forest over the Table 1 line features.
+* :class:`StrudelCellClassifier` — Strudel-C, a multi-class random
+  forest over the Table 2 cell features; runs Strudel-L first and
+  feeds its per-line probability vectors in as features (Section 5.4).
+* :class:`LineToCellBaseline` — the Line-C baseline, which "simply
+  extends the predicted class of a line ... to each non-empty cell in
+  this line".
+* :class:`StrudelPipeline` — the end-to-end flow of Figure 2: dialect
+  detection, parsing, cropping, line classification, cell
+  classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cell_features import CellFeatureExtractor
+from repro.core.line_features import LineFeatureExtractor
+from repro.dialect.detector import detect_dialect
+from repro.dialect.dialect import Dialect
+from repro.errors import NotFittedError
+from repro.io.cropping import crop_table
+from repro.parsing import parse_csv_text
+from repro.ml.forest import RandomForestClassifier
+from repro.types import (
+    CLASS_TO_INDEX,
+    CONTENT_CLASSES,
+    INDEX_TO_CLASS,
+    AnnotatedFile,
+    CellClass,
+    Table,
+)
+
+#: Forest size used by default.  The paper uses scikit-learn defaults
+#: (100 trees); experiments may pass a smaller budget for speed.
+DEFAULT_N_ESTIMATORS = 100
+
+
+class StrudelLineClassifier:
+    """Strudel-L: random-forest line classification.
+
+    Parameters
+    ----------
+    extractor:
+        Line feature extractor; defaults to the paper's Table 1 set.
+    n_estimators, random_state:
+        Forest configuration.
+    feature_subset:
+        Optional tuple of feature names to keep (feature-group
+        ablations); ``None`` keeps all.
+    """
+
+    def __init__(
+        self,
+        extractor: LineFeatureExtractor | None = None,
+        n_estimators: int = DEFAULT_N_ESTIMATORS,
+        random_state: int | None = None,
+        feature_subset: tuple[str, ...] | None = None,
+        classifier_factory=None,
+    ):
+        self.extractor = extractor or LineFeatureExtractor()
+        self.n_estimators = n_estimators
+        self.random_state = random_state
+        self.feature_subset = feature_subset
+        self._classifier_factory = classifier_factory
+        self._model = None
+        self._columns: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _make_model(self):
+        if self._classifier_factory is not None:
+            return self._classifier_factory()
+        return RandomForestClassifier(
+            n_estimators=self.n_estimators, random_state=self.random_state
+        )
+
+    def _select_columns(self) -> np.ndarray:
+        names = self.extractor.feature_names
+        if self.feature_subset is None:
+            return np.arange(len(names))
+        index = {name: i for i, name in enumerate(names)}
+        missing = [n for n in self.feature_subset if n not in index]
+        if missing:
+            raise ValueError(f"unknown line features: {missing}")
+        return np.array([index[n] for n in self.feature_subset])
+
+    # ------------------------------------------------------------------
+    def fit(self, files: list[AnnotatedFile]) -> "StrudelLineClassifier":
+        """Train on the non-empty lines of ``files``."""
+        self._columns = self._select_columns()
+        matrices: list[np.ndarray] = []
+        labels: list[int] = []
+        for annotated in files:
+            features = self.extractor.extract(annotated.table)
+            for i in annotated.non_empty_line_indices():
+                matrices.append(features[i])
+                labels.append(CLASS_TO_INDEX[annotated.line_labels[i]])
+        X = np.vstack(matrices)[:, self._columns]
+        y = np.asarray(labels)
+        self._model = self._make_model().fit(X, y)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._model is None:
+            raise NotFittedError("StrudelLineClassifier must be fitted first")
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, table: Table) -> np.ndarray:
+        """``(n_rows, 6)`` class probability matrix over all lines.
+
+        Probabilities are produced for every line (including empty
+        ones, whose rows are only consumed as features downstream);
+        columns follow :data:`~repro.types.CONTENT_CLASSES` order.
+        """
+        self._require_fitted()
+        features = self.extractor.extract(table)[:, self._columns]
+        raw = self._model.predict_proba(features)
+        aligned = np.zeros((features.shape[0], len(CONTENT_CLASSES)))
+        for column, klass in enumerate(self._model.classes_):
+            aligned[:, int(klass)] = raw[:, column]
+        return aligned
+
+    def predict(self, table: Table) -> list[CellClass]:
+        """Predicted class per line; empty lines get ``CellClass.EMPTY``."""
+        proba = self.predict_proba(table)
+        labels = [INDEX_TO_CLASS[int(k)] for k in np.argmax(proba, axis=1)]
+        return [
+            CellClass.EMPTY if table.is_empty_row(i) else labels[i]
+            for i in range(table.n_rows)
+        ]
+
+
+class StrudelCellClassifier:
+    """Strudel-C: random-forest cell classification on Table 2 features.
+
+    Owns (or shares) a :class:`StrudelLineClassifier`, which is fitted
+    first so its probability vectors become cell features.
+    """
+
+    def __init__(
+        self,
+        line_classifier: StrudelLineClassifier | None = None,
+        extractor: CellFeatureExtractor | None = None,
+        n_estimators: int = DEFAULT_N_ESTIMATORS,
+        random_state: int | None = None,
+        feature_subset: tuple[str, ...] | None = None,
+        classifier_factory=None,
+    ):
+        self.line_classifier = line_classifier or StrudelLineClassifier(
+            n_estimators=n_estimators, random_state=random_state
+        )
+        self.extractor = extractor or CellFeatureExtractor()
+        self.n_estimators = n_estimators
+        self.random_state = random_state
+        self.feature_subset = feature_subset
+        self._classifier_factory = classifier_factory
+        self._model = None
+        self._columns: np.ndarray | None = None
+        self._line_fitted_here = False
+
+    # ------------------------------------------------------------------
+    def _make_model(self):
+        if self._classifier_factory is not None:
+            return self._classifier_factory()
+        return RandomForestClassifier(
+            n_estimators=self.n_estimators, random_state=self.random_state
+        )
+
+    def _select_columns(self) -> np.ndarray:
+        names = self.extractor.feature_names
+        if self.feature_subset is None:
+            return np.arange(len(names))
+        index = {name: i for i, name in enumerate(names)}
+        missing = [n for n in self.feature_subset if n not in index]
+        if missing:
+            raise ValueError(f"unknown cell features: {missing}")
+        return np.array([index[n] for n in self.feature_subset])
+
+    # ------------------------------------------------------------------
+    def fit(self, files: list[AnnotatedFile]) -> "StrudelCellClassifier":
+        """Train on the non-empty cells of ``files``.
+
+        Fits the line classifier on the same files first (unless the
+        caller passed one that is already fitted), then uses its
+        probabilities as the ``LineClassProbability`` features.
+        """
+        if self.line_classifier._model is None:
+            self.line_classifier.fit(files)
+            self._line_fitted_here = True
+        self._columns = self._select_columns()
+
+        matrices: list[np.ndarray] = []
+        labels: list[int] = []
+        for annotated in files:
+            probabilities = self.line_classifier.predict_proba(annotated.table)
+            positions, features = self.extractor.extract(
+                annotated.table, probabilities
+            )
+            for (i, j), row in zip(positions, features):
+                matrices.append(row)
+                labels.append(CLASS_TO_INDEX[annotated.cell_labels[i][j]])
+        X = np.vstack(matrices)[:, self._columns]
+        y = np.asarray(labels)
+        self._model = self._make_model().fit(X, y)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._model is None:
+            raise NotFittedError("StrudelCellClassifier must be fitted first")
+
+    # ------------------------------------------------------------------
+    def predict_with_positions(
+        self, table: Table
+    ) -> tuple[list[tuple[int, int]], list[CellClass]]:
+        """Positions and predicted classes of all non-empty cells."""
+        self._require_fitted()
+        probabilities = self.line_classifier.predict_proba(table)
+        positions, features = self.extractor.extract(table, probabilities)
+        if not positions:
+            return [], []
+        raw = self._model.predict_proba(features[:, self._columns])
+        aligned = np.zeros((features.shape[0], len(CONTENT_CLASSES)))
+        for column, klass in enumerate(self._model.classes_):
+            aligned[:, int(klass)] = raw[:, column]
+        labels = [
+            INDEX_TO_CLASS[int(k)] for k in np.argmax(aligned, axis=1)
+        ]
+        return positions, labels
+
+    def predict(self, table: Table) -> dict[tuple[int, int], CellClass]:
+        """Mapping from non-empty cell positions to predicted classes."""
+        positions, labels = self.predict_with_positions(table)
+        return dict(zip(positions, labels))
+
+
+class LineToCellBaseline:
+    """Line-C: extend each line's predicted class to its non-empty cells."""
+
+    def __init__(self, line_classifier: StrudelLineClassifier):
+        self.line_classifier = line_classifier
+
+    def fit(self, files: list[AnnotatedFile]) -> "LineToCellBaseline":
+        """Fit the underlying line classifier if necessary."""
+        if self.line_classifier._model is None:
+            self.line_classifier.fit(files)
+        return self
+
+    def predict_with_positions(
+        self, table: Table
+    ) -> tuple[list[tuple[int, int]], list[CellClass]]:
+        """Positions and classes of all non-empty cells."""
+        line_labels = self.line_classifier.predict(table)
+        positions: list[tuple[int, int]] = []
+        labels: list[CellClass] = []
+        for cell in table.non_empty_cells():
+            positions.append((cell.row, cell.col))
+            labels.append(line_labels[cell.row])
+        return positions, labels
+
+    def predict(self, table: Table) -> dict[tuple[int, int], CellClass]:
+        """Mapping from non-empty cell positions to predicted classes."""
+        positions, labels = self.predict_with_positions(table)
+        return dict(zip(positions, labels))
+
+
+@dataclass
+class StructureResult:
+    """Output of the end-to-end pipeline for one input text."""
+
+    dialect: Dialect
+    table: Table
+    line_classes: list[CellClass]
+    cell_classes: dict[tuple[int, int], CellClass]
+
+
+class StrudelPipeline:
+    """The full Figure 2 flow: text in, classified structure out.
+
+    The pipeline owns one Strudel-L and one Strudel-C model; call
+    :meth:`fit` with annotated files, then :meth:`analyze` with raw
+    CSV text (dialect is detected automatically) or :meth:`analyze_table`
+    with an already-parsed table.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = DEFAULT_N_ESTIMATORS,
+        random_state: int | None = None,
+        crop: bool = True,
+    ):
+        self.line_classifier = StrudelLineClassifier(
+            n_estimators=n_estimators, random_state=random_state
+        )
+        self.cell_classifier = StrudelCellClassifier(
+            line_classifier=self.line_classifier,
+            n_estimators=n_estimators,
+            random_state=random_state,
+        )
+        self.crop = crop
+
+    def fit(self, files: list[AnnotatedFile]) -> "StrudelPipeline":
+        """Train both classifiers on annotated files."""
+        self.cell_classifier.fit(files)
+        return self
+
+    def analyze(self, text: str, dialect: Dialect | None = None) -> StructureResult:
+        """Classify the structure of raw CSV ``text``."""
+        if dialect is None:
+            dialect = detect_dialect(text)
+        rows = parse_csv_text(text, dialect)
+        table = Table(rows if rows else [[""]])
+        if self.crop:
+            table = crop_table(table)
+        line_classes = self.line_classifier.predict(table)
+        cell_classes = self.cell_classifier.predict(table)
+        return StructureResult(
+            dialect=dialect,
+            table=table,
+            line_classes=line_classes,
+            cell_classes=cell_classes,
+        )
+
+    def analyze_table(self, table: Table) -> StructureResult:
+        """Classify the structure of an already-parsed table."""
+        line_classes = self.line_classifier.predict(table)
+        cell_classes = self.cell_classifier.predict(table)
+        return StructureResult(
+            dialect=Dialect.standard(),
+            table=table,
+            line_classes=line_classes,
+            cell_classes=cell_classes,
+        )

@@ -1,0 +1,45 @@
+"""Synthetic verbose-CSV corpora with exact ground truth.
+
+The paper evaluates on six annotated corpora (GovUK, SAUS, CIUS, DeEx,
+Mendeley, Troy) that are not available offline.  This package
+generates synthetic corpora with one *personality* per paper dataset:
+each personality reproduces the structural phenomena the paper
+describes for that dataset (templated CIUS files, heterogeneous DeEx
+layouts with stacked tables and tabular notes, SAUS's unanchored
+derived lines, Mendeley's huge data-dominated plain-text files with
+delimiter clashes, Troy's out-of-domain layouts), so every feature
+and classifier code path is exercised and the paper's *relative*
+results are preserved.
+
+Because the files are generated, the line and cell ground truth is
+exact by construction — no annotation noise.
+"""
+
+from repro.datagen.corpora import (
+    CORPUS_BUILDERS,
+    make_cius,
+    make_corpus,
+    make_deex,
+    make_govuk,
+    make_mendeley,
+    make_saus,
+    make_troy,
+)
+from repro.datagen.filegen import FileBuilder, generate_file
+from repro.datagen.spec import CorpusSpec, FileSpec, TableSpec
+
+__all__ = [
+    "CORPUS_BUILDERS",
+    "CorpusSpec",
+    "FileBuilder",
+    "FileSpec",
+    "TableSpec",
+    "generate_file",
+    "make_cius",
+    "make_corpus",
+    "make_deex",
+    "make_govuk",
+    "make_mendeley",
+    "make_saus",
+    "make_troy",
+]

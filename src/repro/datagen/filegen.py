@@ -1,0 +1,429 @@
+"""File-level generation: composing tables, metadata and notes.
+
+:class:`FileBuilder` accumulates labelled rows and produces a
+rectangular :class:`~repro.types.AnnotatedFile`;
+:func:`generate_table_block` emits one table (headers, groups, data,
+derived lines, derived column) with exact cell labels; and
+:func:`generate_file` composes a whole verbose CSV file from a
+:class:`~repro.datagen.spec.FileSpec`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen import vocab
+from repro.datagen.spec import FileSpec, TableSpec
+from repro.datagen.values import draw_values, format_value
+from repro.types import AnnotatedFile, CellClass, Table
+
+
+class FileBuilder:
+    """Accumulates labelled rows; pads to rectangular shape on build."""
+
+    def __init__(self) -> None:
+        self._rows: list[list[str]] = []
+        self._cell_labels: list[list[CellClass]] = []
+        self._line_labels: list[CellClass] = []
+
+    def add_row(
+        self,
+        values: list[str],
+        cell_classes: list[CellClass],
+        line_class: CellClass,
+    ) -> None:
+        """Append one labelled line.
+
+        Label hygiene is enforced here: empty cells always carry the
+        ``EMPTY`` label regardless of what the caller passed.
+        """
+        if len(values) != len(cell_classes):
+            raise ValueError("values and cell_classes differ in length")
+        cleaned = [
+            CellClass.EMPTY if not value.strip() else label
+            for value, label in zip(values, cell_classes)
+        ]
+        self._rows.append(list(values))
+        self._cell_labels.append(cleaned)
+        self._line_labels.append(line_class)
+
+    def add_empty_row(self) -> None:
+        """Append a fully empty visual separator line."""
+        self._rows.append([""])
+        self._cell_labels.append([CellClass.EMPTY])
+        self._line_labels.append(CellClass.EMPTY)
+
+    def add_empty_rows(self, count: int) -> None:
+        """Append ``count`` empty lines."""
+        for _ in range(count):
+            self.add_empty_row()
+
+    def attach_right(
+        self, row_index: int, value: str, cell_class: CellClass
+    ) -> None:
+        """Attach a cell to the right of an existing line.
+
+        Used for side content such as notes placed to the right of a
+        table: an empty spacer cell is inserted before the value, and
+        the line's class label is left unchanged (the attached cell
+        keeps its own class — the paper's diversity-degree mechanism).
+        """
+        if not 0 <= row_index < len(self._rows):
+            raise IndexError(f"no line {row_index} to attach to")
+        self._rows[row_index].extend(["", value])
+        self._cell_labels[row_index].extend(
+            [CellClass.EMPTY,
+             cell_class if value.strip() else CellClass.EMPTY]
+        )
+
+    @property
+    def n_rows(self) -> int:
+        """Lines added so far."""
+        return len(self._rows)
+
+    def build(self, name: str) -> AnnotatedFile:
+        """Pad all rows to the widest line and assemble the file."""
+        width = max((len(r) for r in self._rows), default=1)
+        rows = [r + [""] * (width - len(r)) for r in self._rows]
+        labels = [
+            l + [CellClass.EMPTY] * (width - len(l))
+            for l in self._cell_labels
+        ]
+        return AnnotatedFile(
+            name=name,
+            table=Table(rows),
+            line_labels=list(self._line_labels),
+            cell_labels=labels,
+        )
+
+
+# ----------------------------------------------------------------------
+# Table blocks
+# ----------------------------------------------------------------------
+def _header_rows(
+    builder: FileBuilder,
+    spec: TableSpec,
+    domain: str,
+    rng: np.random.Generator,
+    total_cols: int,
+    lead_cols: int,
+) -> None:
+    names = vocab.COLUMN_NAMES[domain]
+    if spec.header_rows >= 2:
+        # A spanning super-header occupying only its top-left cell.
+        spanning = [""] * total_cols
+        spanning[lead_cols] = vocab.pick(rng, vocab.TOPICS[domain])
+        builder.add_row(
+            spanning,
+            [CellClass.HEADER] * total_cols,
+            CellClass.HEADER,
+        )
+    if spec.header_rows >= 1:
+        header = [""] * total_cols
+        # The key column header is often left blank in real files.
+        if rng.random() < 0.5:
+            header[lead_cols - 1] = vocab.pick(rng, vocab.DIMENSIONS[domain])
+        n_value_cols = total_cols - lead_cols
+        if spec.numeric_headers:
+            start_year = int(rng.integers(1990, 2016))
+            labels = [str(start_year + k) for k in range(n_value_cols)]
+        else:
+            labels = [vocab.pick(rng, names) for _ in range(n_value_cols)]
+        header[lead_cols:] = labels
+        if spec.derived_column:
+            header[-1] = "Total"
+        builder.add_row(
+            header, [CellClass.HEADER] * total_cols, CellClass.HEADER
+        )
+
+
+def _format_row(
+    key: str,
+    values: np.ndarray,
+    missing: np.ndarray,
+    spec: TableSpec,
+    key_class: CellClass,
+    value_class: CellClass,
+    line_class: CellClass,
+) -> tuple[list[str], list[CellClass], CellClass]:
+    """Format one table line; missing cells are emitted empty.
+
+    When the spec asks for a derived column, its value is the sum of
+    the *visible* cells (missing count as zero), so the generated
+    aggregate is consistent with what a reader — or Algorithm 2 —
+    can recompute from the file.
+    """
+    cells = [key]
+    classes = [key_class]
+    for value, hide in zip(values, missing):
+        if hide:
+            cells.append("")
+            classes.append(CellClass.EMPTY)
+        else:
+            cells.append(
+                format_value(value, spec.float_values,
+                             spec.thousands_separators)
+            )
+            classes.append(value_class)
+    if spec.derived_column:
+        visible_sum = float(values[~missing].sum())
+        cells.append(
+            format_value(visible_sum, spec.float_values,
+                         spec.thousands_separators)
+        )
+        classes.append(CellClass.DERIVED)
+    return cells, classes, line_class
+
+
+def generate_table_block(
+    builder: FileBuilder,
+    spec: TableSpec,
+    domain: str,
+    rng: np.random.Generator,
+) -> None:
+    """Emit one table into ``builder`` with exact labels.
+
+    The table consists of optional header lines, ``n_groups`` group
+    sections (group line *or* a leading group column, data rows,
+    optional derived subtotal), an optional grand-total line and an
+    optional derived (row-sum) column.  All aggregates are true sums
+    of the *displayed* values, with empty (missing) cells counting as
+    zero — exactly the arithmetic Algorithm 2 performs.
+    """
+    group_col = spec.group_column and spec.n_groups > 0
+    lead_cols = 2 if group_col else 1
+    total_cols = (
+        lead_cols + spec.n_numeric_cols + (1 if spec.derived_column else 0)
+    )
+    _header_rows(builder, spec, domain, rng, total_cols, lead_cols)
+    if spec.blank_after_header:
+        builder.add_empty_row()
+
+    keys = vocab.KEY_NAMES[domain]
+    group_names = vocab.GROUP_NAMES[domain]
+    total_words = (
+        vocab.TOTAL_WORDS_ANCHORED
+        if spec.anchored_total_words
+        else vocab.TOTAL_WORDS_UNANCHORED
+    )
+
+    n_sections = max(spec.n_groups, 1)
+    grand_sum = np.zeros(spec.n_numeric_cols)
+
+    def pick_total_word() -> str:
+        # Unanchored tables may key their derived lines with ordinary
+        # key names, making them lexically identical to data lines —
+        # the paper's hardest derived case.
+        if not spec.anchored_total_words and spec.plain_key_totals:
+            return vocab.pick(rng, keys)
+        return vocab.pick(rng, total_words)
+
+    def add_with_group_prefix(
+        row: tuple[list[str], list[CellClass], CellClass],
+        group_value: str = "",
+    ) -> None:
+        """Emit a row, prepending the group column when configured."""
+        cells, classes, line_class = row
+        if group_col:
+            cells = [group_value] + cells
+            classes = [
+                CellClass.GROUP if group_value else CellClass.EMPTY
+            ] + classes
+        builder.add_row(cells, classes, line_class)
+
+    def subtotal_row(section_sum: np.ndarray) -> tuple:
+        return _format_row(
+            pick_total_word(), section_sum,
+            np.zeros(len(section_sum), dtype=bool), spec,
+            key_class=CellClass.GROUP,
+            value_class=CellClass.DERIVED,
+            line_class=CellClass.DERIVED,
+        )
+
+    for section in range(n_sections):
+        group_name = ""
+        if spec.n_groups > 0:
+            group_name = vocab.pick(rng, group_names)
+            if not group_col:
+                group_row = [group_name] + [""] * (total_cols - 1)
+                builder.add_row(
+                    group_row,
+                    [CellClass.GROUP] * total_cols,
+                    CellClass.GROUP,
+                )
+        values = draw_values(
+            rng, spec.rows_per_group, spec.n_numeric_cols, spec.float_values
+        )
+        # Missing cells count as zero in every aggregate, matching the
+        # detector's NaN-as-zero accumulation.
+        missing = rng.random(values.shape) < spec.missing_value_rate
+        visible = np.where(missing, 0.0, values)
+        section_sum = visible.sum(axis=0)
+        grand_sum += section_sum
+
+        if spec.group_subtotals and spec.subtotals_on_top:
+            add_with_group_prefix(subtotal_row(section_sum))
+        for row_index in range(spec.rows_per_group):
+            key = vocab.pick(rng, keys)
+            row = _format_row(
+                key, values[row_index], missing[row_index], spec,
+                key_class=CellClass.DATA,
+                value_class=CellClass.DATA,
+                line_class=CellClass.DATA,
+            )
+            # The spanning group value goes only to the section's
+            # top-left cell, per the paper's preprocessing convention.
+            add_with_group_prefix(
+                row, group_value=group_name if row_index == 0 else ""
+            )
+        if spec.group_subtotals and not spec.subtotals_on_top:
+            add_with_group_prefix(subtotal_row(section_sum))
+        if spec.blank_between_groups and section < n_sections - 1:
+            builder.add_empty_row()
+
+    if spec.grand_total:
+        word = pick_total_word()
+        if spec.anchored_total_words and not word.lower().startswith("grand"):
+            word = "Grand " + word.lower()
+        row = _format_row(
+            word, grand_sum, np.zeros(len(grand_sum), dtype=bool), spec,
+            key_class=CellClass.GROUP,
+            value_class=CellClass.DERIVED,
+            line_class=CellClass.DERIVED,
+        )
+        add_with_group_prefix(row)
+
+
+# ----------------------------------------------------------------------
+# Whole files
+# ----------------------------------------------------------------------
+def _metadata_block(
+    builder: FileBuilder, spec: FileSpec, rng: np.random.Generator
+) -> None:
+    if spec.metadata_as_table and spec.metadata_lines > 1:
+        # Elaborate metadata organized as a small key:value table —
+        # the paper's "metadata as data" hard case.
+        builder.add_row(
+            [vocab.make_title(rng, spec.domain, builder.n_rows + 1)],
+            [CellClass.METADATA],
+            CellClass.METADATA,
+        )
+        labels = ["Coverage", "Unit", "Release", "Source", "Edition"]
+        for line in range(spec.metadata_lines - 1):
+            builder.add_row(
+                [labels[line % len(labels)], vocab.make_metadata_extra(rng)],
+                [CellClass.METADATA, CellClass.METADATA],
+                CellClass.METADATA,
+            )
+        return
+    for line in range(spec.metadata_lines):
+        if line == 0:
+            text = vocab.make_title(rng, spec.domain, builder.n_rows + 1)
+        elif spec.domain == "science" and rng.random() < 0.6:
+            # Instrument-configuration metadata: a name,value,unit
+            # triple whose numeric middle cell makes the line look
+            # like data — the Mendeley transfer hard case.
+            cells = vocab.make_config_metadata(rng)
+            builder.add_row(
+                cells, [CellClass.METADATA] * len(cells),
+                CellClass.METADATA,
+            )
+            continue
+        else:
+            text = vocab.make_metadata_extra(rng)
+        if spec.metadata_split_cells and rng.random() < 0.85:
+            # The Mendeley "delimiter dilemma": the table delimiter
+            # tears free text into many short cells, so metadata lines
+            # masquerade as wide header/data lines.
+            words = text.split(" ")
+            cells = []
+            index = 0
+            while index < len(words):
+                step = int(rng.integers(1, 3))
+                cells.append(" ".join(words[index : index + step]))
+                index += step
+        else:
+            cells = [text]
+        builder.add_row(
+            cells, [CellClass.METADATA] * len(cells), CellClass.METADATA
+        )
+
+
+def _notes_block(
+    builder: FileBuilder, spec: FileSpec, rng: np.random.Generator
+) -> None:
+    if spec.notes_as_table and spec.notes_lines > 0:
+        # Notes organized as a small two-column table (common in DeEx).
+        for _ in range(spec.notes_lines):
+            mark = vocab.pick(rng, ["*", "1", "2", "a", "b"])
+            detail = vocab.pick(rng, vocab.NOTE_DETAILS)
+            builder.add_row(
+                [mark, detail],
+                [CellClass.NOTES, CellClass.NOTES],
+                CellClass.NOTES,
+            )
+        return
+    for _ in range(spec.notes_lines):
+        text = vocab.make_note(rng)
+        if spec.notes_multicell and rng.random() < 0.6:
+            # Notes torn across cells (delimiter inside the text, or a
+            # mark in its own cell) — harder to separate from short
+            # data lines.  Files with the delimiter dilemma tear notes
+            # as aggressively as metadata.
+            words = text.split(" ")
+            if spec.metadata_split_cells:
+                cells = []
+                index = 0
+                while index < len(words):
+                    step = int(rng.integers(1, 3))
+                    cells.append(" ".join(words[index : index + step]))
+                    index += step
+            else:
+                cut = max(1, len(words) // 3)
+                cells = [" ".join(words[:cut]), " ".join(words[cut:])]
+        else:
+            cells = [text]
+        builder.add_row(
+            cells, [CellClass.NOTES] * len(cells), CellClass.NOTES
+        )
+
+
+def generate_file(
+    spec: FileSpec, rng: np.random.Generator, name: str
+) -> AnnotatedFile:
+    """Generate one annotated verbose CSV file from ``spec``."""
+    builder = FileBuilder()
+    _metadata_block(builder, spec, rng)
+    if spec.metadata_lines:
+        builder.add_empty_rows(spec.blank_between_sections)
+
+    table_specs = spec.tables or [TableSpec()]
+    first_table_line = builder.n_rows
+    for index, table_spec in enumerate(table_specs):
+        if index > 0:
+            builder.add_empty_rows(max(spec.blank_between_sections, 1))
+            # Later tables in a stack usually carry their own caption.
+            caption = vocab.make_title(rng, spec.domain, index + 1)
+            builder.add_row(
+                [caption], [CellClass.METADATA], CellClass.METADATA
+            )
+        generate_table_block(builder, table_spec, spec.domain, rng)
+
+    if spec.notes_right_of_table:
+        # Side notes: short remarks attached to the right of data
+        # rows ("authors place notes to the right of a table" — the
+        # paper's notes-as-data confusion source).
+        candidate_lines = [
+            i
+            for i in range(first_table_line, builder.n_rows)
+            if builder._line_labels[i] is CellClass.DATA
+        ]
+        rng.shuffle(candidate_lines)
+        for i in candidate_lines[: min(2, len(candidate_lines))]:
+            remark = vocab.pick(rng, ["*", "(r)", "see note 1", "prelim."])
+            builder.attach_right(i, remark, CellClass.NOTES)
+
+    if spec.notes_lines:
+        builder.add_empty_rows(spec.blank_between_sections)
+        _notes_block(builder, spec, rng)
+    return builder.build(name)

@@ -1,0 +1,129 @@
+"""Plain-text emission and parse-ability filtering (Section 6.1.1).
+
+The paper crawled Mendeley plain-text files, ran dialect detection,
+and kept only the 62 of 100 files whose *table region* parsed
+correctly under the detected dialect ("a file is parse-able if the
+dialect for the table region ... is correct").
+
+This module reproduces that acquisition pipeline over generated
+corpora: each annotated file is serialized under a randomly drawn
+exotic dialect, the detector runs on the raw text, and the file
+survives only if the detected dialect reconstructs the table region's
+shape.  The result is a corpus of genuinely dialect-stressed files
+plus the acquisition statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dialect.detector import DialectDetector
+from repro.dialect.dialect import Dialect
+from repro.io.writer import write_csv_text
+from repro.parsing import parse_csv_text
+from repro.types import AnnotatedFile, CellClass, Corpus
+from repro.util.rng import as_generator
+
+#: Dialects a plain-text corpus may arrive in; weighted toward the
+#: conventional ones but including awkward space/colon variants.
+EMISSION_DIALECTS: tuple[Dialect, ...] = (
+    Dialect.standard(),
+    Dialect(delimiter=";"),
+    Dialect(delimiter="\t", quotechar=""),
+    Dialect(delimiter="|", quotechar="'"),
+    Dialect(delimiter=" ", quotechar='"'),
+    Dialect(delimiter=":", quotechar=""),
+)
+
+
+@dataclass
+class AcquisitionReport:
+    """Outcome of the plain-text acquisition pipeline."""
+
+    total: int
+    parseable: int
+    per_dialect: dict[str, tuple[int, int]]
+
+    @property
+    def parseable_rate(self) -> float:
+        """Share of files that survived filtering (paper: 62/100)."""
+        return self.parseable / self.total if self.total else 0.0
+
+
+def _table_region_rows(annotated: AnnotatedFile) -> list[int]:
+    """Indices of lines in the table region (header/group/data/derived),
+    matching the paper's definition of parse-ability."""
+    region = {
+        CellClass.HEADER, CellClass.GROUP, CellClass.DATA,
+        CellClass.DERIVED,
+    }
+    return [
+        i
+        for i, label in enumerate(annotated.line_labels)
+        if label in region
+    ]
+
+
+def is_parseable(
+    annotated: AnnotatedFile,
+    emitted: Dialect,
+    detector: DialectDetector,
+) -> bool:
+    """Whether the detected dialect reconstructs the table region.
+
+    The file is serialized under ``emitted``; detection runs on the raw
+    text; the parse under the detected dialect must reproduce the cell
+    boundaries of every table-region line.
+    """
+    text = write_csv_text(annotated.table.rows(), emitted)
+    if not text.strip():
+        return False
+    detected = detector.detect(text)
+    rows = parse_csv_text(text, detected)
+    original = list(annotated.table.rows())
+    if len(rows) != len(original):
+        return False
+    width = annotated.table.n_cols
+    for i in _table_region_rows(annotated):
+        parsed = rows[i] + [""] * (width - len(rows[i]))
+        if parsed[:width] != original[i]:
+            return False
+    return True
+
+
+def acquire_plain_text_corpus(
+    corpus: Corpus,
+    seed: int | np.random.Generator | None = 0,
+    detector: DialectDetector | None = None,
+) -> tuple[Corpus, AcquisitionReport]:
+    """Run the paper's acquisition pipeline over ``corpus``.
+
+    Every file is assigned a random emission dialect; only files whose
+    table region survives detection+parsing are kept.  Returns the
+    surviving corpus (original annotations, since the table parses
+    identically) and the acquisition report.
+    """
+    rng = as_generator(seed)
+    detector = detector or DialectDetector()
+    kept: list[AnnotatedFile] = []
+    per_dialect: dict[str, list[int]] = {}
+    for annotated in corpus:
+        dialect = EMISSION_DIALECTS[
+            int(rng.integers(0, len(EMISSION_DIALECTS)))
+        ]
+        key = repr(dialect.delimiter)
+        bucket = per_dialect.setdefault(key, [0, 0])
+        bucket[1] += 1
+        if is_parseable(annotated, dialect, detector):
+            bucket[0] += 1
+            kept.append(annotated)
+    report = AcquisitionReport(
+        total=len(corpus),
+        parseable=len(kept),
+        per_dialect={
+            key: (ok, total) for key, (ok, total) in per_dialect.items()
+        },
+    )
+    return Corpus(name=f"{corpus.name}-parseable", files=kept), report

@@ -1,0 +1,165 @@
+"""Generator configuration dataclasses.
+
+``TableSpec`` shapes a single table block, ``FileSpec`` a whole file,
+``CorpusSpec`` an entire corpus personality.  The corpus builders in
+:mod:`repro.datagen.corpora` sample Table/File specs from the ranges a
+``CorpusSpec`` defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+
+
+@dataclass
+class TableSpec:
+    """Shape of one table block inside a generated file.
+
+    Attributes
+    ----------
+    n_numeric_cols:
+        Numeric data columns (a leading string key column is always
+        added, so table width is ``n_numeric_cols + 1`` plus an
+        optional derived column).
+    n_groups:
+        Number of group sections; 0 means a flat table without group
+        lines.
+    rows_per_group:
+        Data rows per group section (or total rows for flat tables).
+    header_rows:
+        Number of header lines (0 allows the headless tables the
+        paper's reforged annotations discuss).
+    numeric_headers:
+        Use year numbers instead of words for column headers — the
+        "header as data" hard case.
+    group_subtotals:
+        Emit a derived subtotal line after each group section.
+    grand_total:
+        Emit a grand-total derived line after the last section.
+    derived_column:
+        Append a row-sum derived column on the right.
+    anchored_total_words:
+        Whether derived lines lead with an aggregation keyword (e.g.
+        ``Total``); unanchored lines reproduce the paper's dominant
+        derived-as-data error source.
+    plain_key_totals:
+        For unanchored tables only: lead derived lines with an
+        ordinary key name (e.g. ``United States``) instead of a
+        distinctive word, making them lexically identical to data.
+    subtotals_on_top:
+        Place each group's derived line *above* its data rows (the
+        paper observes derived lines between header and data areas,
+        its main derived-as-header confusion source).
+    group_column:
+        Organize groups as a leading *column* instead of group lines:
+        the group name appears in an extra leftmost column at the top
+        of each section (spanning values go to the top-left cell, as
+        in the paper's preprocessing), so group cells co-occur with
+        data cells in the same line — the paper's "group as data"
+        hard case.
+    blank_after_header:
+        Insert an empty separator line between header and data.
+    blank_between_groups:
+        Insert empty separator lines between group sections.
+    missing_value_rate:
+        Probability that a data cell is left empty.
+    float_values:
+        Generate decimal values instead of integers.
+    thousands_separators:
+        Format large integers with thousands separators.
+    """
+
+    n_numeric_cols: int = 4
+    n_groups: int = 2
+    rows_per_group: int = 5
+    header_rows: int = 1
+    numeric_headers: bool = False
+    group_subtotals: bool = True
+    grand_total: bool = True
+    derived_column: bool = False
+    anchored_total_words: bool = True
+    plain_key_totals: bool = False
+    subtotals_on_top: bool = False
+    group_column: bool = False
+    blank_after_header: bool = False
+    blank_between_groups: bool = False
+    missing_value_rate: float = 0.03
+    float_values: bool = False
+    thousands_separators: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_numeric_cols < 1:
+            raise GenerationError("n_numeric_cols must be >= 1")
+        if self.rows_per_group < 1:
+            raise GenerationError("rows_per_group must be >= 1")
+        if self.n_groups < 0:
+            raise GenerationError("n_groups must be >= 0")
+        if not 0.0 <= self.missing_value_rate < 1.0:
+            raise GenerationError("missing_value_rate must be in [0, 1)")
+
+
+@dataclass
+class FileSpec:
+    """Shape of one generated file."""
+
+    domain: str = "admin"
+    n_tables: int = 1
+    metadata_lines: int = 2
+    notes_lines: int = 2
+    notes_as_table: bool = False
+    notes_multicell: bool = False
+    notes_right_of_table: bool = False
+    metadata_as_table: bool = False
+    blank_between_sections: int = 1
+    metadata_split_cells: bool = False
+    tables: list[TableSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_tables < 1:
+            raise GenerationError("n_tables must be >= 1")
+        if self.metadata_lines < 0 or self.notes_lines < 0:
+            raise GenerationError("metadata/notes line counts must be >= 0")
+
+
+@dataclass
+class CorpusSpec:
+    """Personality of a whole corpus: ranges the file sampler draws from.
+
+    ``scale`` multiplies ``n_files`` so experiments can run on reduced
+    corpora without changing the per-file structure distribution.
+    """
+
+    name: str
+    domain: str
+    n_files: int
+    tables_per_file: tuple[int, int] = (1, 1)
+    numeric_cols: tuple[int, int] = (3, 6)
+    groups: tuple[int, int] = (1, 3)
+    rows_per_group: tuple[int, int] = (4, 10)
+    metadata_lines: tuple[int, int] = (1, 3)
+    notes_lines: tuple[int, int] = (1, 3)
+    header_rows: tuple[int, int] = (1, 2)
+    numeric_header_rate: float = 0.1
+    anchored_total_rate: float = 0.9
+    plain_key_total_rate: float = 0.5
+    subtotal_top_rate: float = 0.0
+    multicell_notes_rate: float = 0.0
+    group_column_rate: float = 0.0
+    metadata_table_rate: float = 0.0
+    side_notes_rate: float = 0.0
+    subtotal_rate: float = 0.7
+    grand_total_rate: float = 0.8
+    derived_column_rate: float = 0.1
+    notes_as_table_rate: float = 0.0
+    metadata_split_rate: float = 0.0
+    blank_after_header_rate: float = 0.2
+    blank_between_groups_rate: float = 0.3
+    missing_value_rate: float = 0.03
+    float_value_rate: float = 0.3
+    template_count: int | None = None
+
+    def scaled_files(self, scale: float) -> int:
+        """Number of files at ``scale`` (at least 2)."""
+        return max(2, int(round(self.n_files * scale)))

@@ -1,0 +1,45 @@
+"""Numeric value generation and formatting for synthetic tables.
+
+Derived lines in generated files must be *actual* aggregates of the
+data above them — otherwise Algorithm 2 would have nothing to detect.
+To keep formatted text and arithmetic consistent, generators first
+draw a numeric matrix, round it to the display precision, and compute
+all aggregates from the rounded values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def draw_values(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_cols: int,
+    float_values: bool,
+) -> np.ndarray:
+    """A ``(n_rows, n_cols)`` matrix of display-rounded values.
+
+    Integers land in [10, 9999]; floats in [0.1, 999.9] with one
+    decimal place.  Each column gets its own magnitude so columns look
+    like distinct measures.
+    """
+    scales = rng.uniform(0.5, 3.0, size=n_cols)
+    base = rng.uniform(10, 3000, size=(n_rows, n_cols)) * scales[None, :]
+    if float_values:
+        return np.round(base / 10.0, 1)
+    return np.round(base)
+
+
+def format_value(
+    value: float,
+    float_values: bool,
+    thousands_separators: bool,
+) -> str:
+    """Format one numeric value the way verbose CSV files print them."""
+    if float_values:
+        return f"{value:.1f}"
+    integer = int(round(value))
+    if thousands_separators and abs(integer) >= 1000:
+        return f"{integer:,}"
+    return str(integer)

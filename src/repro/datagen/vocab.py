@@ -1,0 +1,232 @@
+"""Word banks for the synthetic corpus generators.
+
+Three loose *domains* mirror the paper's dataset sources: an
+administrative/statistical domain (SAUS, CIUS, GovUK), a business
+domain (DeEx) and a scientific domain (Mendeley).  Troy draws from a
+fourth, deliberately different bank to stay out-of-domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+TITLE_TEMPLATES: dict[str, list[str]] = {
+    "admin": [
+        "Table {num}. {topic} in the United States, {year}",
+        "{topic} by {dimension}, {year}",
+        "Statistical Report: {topic} ({year})",
+        "Annual Summary of {topic}, by {dimension}",
+        "{topic} — Offenses Known to Authorities, {year}",
+    ],
+    "business": [
+        "Quarterly {topic} Overview {year}",
+        "{topic} Performance by {dimension}",
+        "Consolidated {topic} Statement, FY{year}",
+        "Internal Report — {topic} ({dimension})",
+    ],
+    "science": [
+        "Experiment {num}: {topic} measurements",
+        "Dataset: {topic} sampled by {dimension}",
+        "Raw readings — {topic} trial {num}",
+        "{topic} observations, {dimension} series",
+    ],
+    "foreign": [
+        "Tabelle {num}: {topic} nach {dimension}",
+        "National accounts: {topic}, {year}",
+        "{topic} census digest {year}",
+    ],
+}
+
+TOPICS: dict[str, list[str]] = {
+    "admin": [
+        "Crime Rates", "Population Estimates", "Drug Seizures",
+        "Household Income", "School Enrollment", "Traffic Violations",
+        "Public Expenditure", "Employment Figures", "Housing Permits",
+    ],
+    "business": [
+        "Revenue", "Operating Costs", "Inventory", "Headcount",
+        "Sales Volume", "Net Margin", "Capital Expenditure",
+    ],
+    "science": [
+        "Temperature", "Conductivity", "Absorbance", "Cell Counts",
+        "Reaction Yield", "Particle Velocity", "pH Levels",
+    ],
+    "foreign": [
+        "Agricultural Output", "Energy Consumption", "Trade Balance",
+        "Fertility Rates", "Water Quality",
+    ],
+}
+
+DIMENSIONS: dict[str, list[str]] = {
+    "admin": ["State", "Region", "Agency", "County", "Age Group", "Year"],
+    "business": ["Division", "Quarter", "Product Line", "Branch", "Segment"],
+    "science": ["Sample", "Batch", "Site", "Replicate", "Condition"],
+    "foreign": ["Province", "Sector", "District", "Cohort"],
+}
+
+COLUMN_NAMES: dict[str, list[str]] = {
+    "admin": [
+        "Violent crime", "Property crime", "Burglary", "Larceny",
+        "Robbery", "Arrests", "Population", "Rate per 100,000",
+        "Officers", "Clearances", "Incidents", "Murder",
+    ],
+    "business": [
+        "Q1", "Q2", "Q3", "Q4", "Revenue", "Costs", "Units",
+        "Margin %", "Forecast", "Actual", "Variance", "Budget",
+    ],
+    "science": [
+        "Run 1", "Run 2", "Run 3", "Mean value", "Std dev",
+        "Reading", "Baseline", "Corrected", "Error", "Signal",
+    ],
+    "foreign": [
+        "Output", "Index", "Share", "Change", "Level", "Per capita",
+        "Density", "Volume",
+    ],
+}
+
+KEY_NAMES: dict[str, list[str]] = {
+    "admin": [
+        "Alabama", "Alaska", "Arizona", "Arkansas", "California",
+        "Colorado", "Connecticut", "Delaware", "Florida", "Georgia",
+        "Hawaii", "Idaho", "Illinois", "Indiana", "Iowa", "Kansas",
+        "Kentucky", "Louisiana", "Maine", "Maryland",
+    ],
+    "business": [
+        "North Division", "South Division", "East Division",
+        "West Division", "Online", "Retail", "Wholesale", "Licensing",
+        "Hardware", "Software", "Services", "Consulting",
+    ],
+    "science": [
+        "Sample A", "Sample B", "Sample C", "Sample D", "Control",
+        "Trial 1", "Trial 2", "Trial 3", "Site North", "Site South",
+        "Replicate I", "Replicate II",
+    ],
+    "foreign": [
+        "Bavaria", "Saxony", "Hesse", "Bremen", "Hamburg", "Berlin",
+        "Tyrol", "Styria", "Geneva", "Vaud", "Ticino", "Zug",
+    ],
+}
+
+GROUP_NAMES: dict[str, list[str]] = {
+    "admin": [
+        "Northeast", "Midwest", "South", "West", "Federal agencies",
+        "State agencies", "Urban areas", "Rural areas",
+        "Sale/Manufacturing:", "Possession:",
+    ],
+    "business": [
+        "Americas", "EMEA", "APAC", "Core products:", "New ventures:",
+        "Continuing operations", "Discontinued operations",
+    ],
+    "science": [
+        "Treatment group", "Control group", "Batch 2019", "Batch 2020",
+        "High dosage:", "Low dosage:",
+    ],
+    "foreign": [
+        "Western provinces", "Eastern provinces", "Coastal",
+        "Inland", "Metropolitan",
+    ],
+}
+
+NOTE_TEMPLATES: list[str] = [
+    "Note: {detail}",
+    "1 {detail}",
+    "2 {detail}",
+    "* {detail}",
+    "Source: {source}",
+    "NOTE: Because of rounding, figures may not add to totals.",
+    "Data are preliminary and subject to revision.",
+]
+
+NOTE_DETAILS: list[str] = [
+    "Figures exclude jurisdictions that did not report.",
+    "Values are expressed in thousands unless stated otherwise.",
+    "Estimates are based on a stratified sample survey.",
+    "Columns may not sum due to independent rounding.",
+    "Data for 2019 were revised in the current edition.",
+    "Counts reflect calendar-year reporting periods.",
+]
+
+NOTE_SOURCES: list[str] = [
+    "U.S. Department of Justice, Federal Bureau of Investigation.",
+    "National Statistics Office, annual digest.",
+    "Company internal ledger, unaudited.",
+    "Laboratory information management system export.",
+]
+
+METADATA_EXTRAS: list[str] = [
+    "All figures in thousands",
+    "Prepared by the statistics unit",
+    "Release date: March {year}",
+    "Coverage: national",
+    "Revision 2",
+]
+
+#: Instrument/configuration parameters for science-domain metadata —
+#: emitted as ``name,value,unit`` triples whose numeric middle cell
+#: makes the metadata look like data (the Mendeley hard case).
+CONFIG_PARAMS: list[tuple[str, tuple[float, float], str]] = [
+    ("sampling_rate", (10, 5000), "Hz"),
+    ("temperature", (15, 40), "C"),
+    ("voltage", (1, 24), "V"),
+    ("exposure", (5, 500), "ms"),
+    ("dilution", (1, 100), "x"),
+    ("flow_rate", (0.1, 9.9), "mL/min"),
+    ("pressure", (90, 110), "kPa"),
+    ("replicates", (2, 12), ""),
+]
+
+TOTAL_WORDS_ANCHORED: list[str] = [
+    "Total", "Total:", "TOTAL", "Grand Total", "Average", "All items",
+    "Sum", "Mean",
+]
+
+#: Leading words for derived lines *without* an aggregation keyword —
+#: these reproduce the paper's unanchored derived lines that Algorithm 2
+#: cannot anchor (its dominant error source).
+TOTAL_WORDS_UNANCHORED: list[str] = [
+    "Combined", "Overall", "Both sexes", "United States", "Everything",
+    "Net", "Aggregate",
+]
+
+
+def pick(rng: np.random.Generator, items: list[str]) -> str:
+    """Uniformly choose one element of ``items``."""
+    return items[int(rng.integers(0, len(items)))]
+
+
+def make_title(rng: np.random.Generator, domain: str, num: int) -> str:
+    """A plausible table title for ``domain``."""
+    template = pick(rng, TITLE_TEMPLATES[domain])
+    return template.format(
+        num=num,
+        topic=pick(rng, TOPICS[domain]),
+        dimension=pick(rng, DIMENSIONS[domain]),
+        year=int(rng.integers(1995, 2021)),
+    )
+
+
+def make_note(rng: np.random.Generator) -> str:
+    """A plausible footnote line."""
+    template = pick(rng, NOTE_TEMPLATES)
+    return template.format(
+        detail=pick(rng, NOTE_DETAILS), source=pick(rng, NOTE_SOURCES)
+    )
+
+
+def make_config_metadata(rng: np.random.Generator) -> list[str]:
+    """A ``name,value,unit`` configuration metadata line."""
+    name, (low, high), unit = CONFIG_PARAMS[
+        int(rng.integers(0, len(CONFIG_PARAMS)))
+    ]
+    if float(high) <= 20:
+        value = f"{rng.uniform(low, high):.1f}"
+    else:
+        value = str(int(rng.integers(int(low), int(high))))
+    return [name, value, unit]
+
+
+def make_metadata_extra(rng: np.random.Generator) -> str:
+    """A secondary metadata line below the title."""
+    return pick(rng, METADATA_EXTRAS).format(
+        year=int(rng.integers(1995, 2021))
+    )

@@ -1,0 +1,15 @@
+"""Dialect detection for messy CSV files.
+
+Implements the data-consistency approach of van den Burg et al.
+("Wrangling messy CSV files by detecting row and type patterns", DMKD
+2019), which the paper uses as its preprocessing step: every candidate
+dialect is scored by the product of a *pattern score* (how regular are
+the row abstractions the dialect induces) and a *type score* (how many
+resulting cells have a recognizable data type); the best-scoring
+dialect wins.
+"""
+
+from repro.dialect.detector import DialectDetector, detect_dialect
+from repro.dialect.dialect import Dialect
+
+__all__ = ["Dialect", "DialectDetector", "detect_dialect"]

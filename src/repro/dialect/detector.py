@@ -1,0 +1,127 @@
+"""Data-consistency dialect detection.
+
+The detector enumerates candidate dialects (delimiters actually present
+in the text crossed with quote and escape options), parses the text
+under each, and scores every parse with
+
+    Q(dialect) = pattern_score * type_score
+
+as in van den Burg et al.  The highest-scoring dialect is returned;
+ties break deterministically in favour of more conventional dialects
+(comma before semicolon before tab, quoting before no quoting) so that
+detection is stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dialect.dialect import Dialect
+from repro.dialect.patterns import pattern_score
+from repro.dialect.type_score import type_score
+from repro.errors import DialectError
+from repro.parsing import parse_csv_text
+
+#: Delimiters considered, in tie-break preference order.
+CANDIDATE_DELIMITERS: tuple[str, ...] = (",", ";", "\t", "|", ":", " ", "^", "~")
+
+#: Quote characters considered, in tie-break preference order.
+CANDIDATE_QUOTES: tuple[str, ...] = ('"', "'", "")
+
+#: Escape characters considered.
+CANDIDATE_ESCAPES: tuple[str, ...] = ("", "\\")
+
+
+@dataclass(frozen=True)
+class ScoredDialect:
+    """A candidate dialect together with its consistency score."""
+
+    dialect: Dialect
+    score: float
+    pattern: float
+    type: float
+
+
+class DialectDetector:
+    """Detects the dialect of a messy CSV text.
+
+    Parameters
+    ----------
+    max_lines:
+        Number of leading lines used for scoring.  Dialect signal
+        saturates quickly, so bounding the sample keeps detection fast
+        on large files.
+    """
+
+    def __init__(self, max_lines: int = 100):
+        if max_lines <= 0:
+            raise DialectError("max_lines must be positive")
+        self.max_lines = max_lines
+
+    # ------------------------------------------------------------------
+    def detect(self, text: str) -> Dialect:
+        """The best-scoring dialect for ``text``.
+
+        Raises :class:`DialectError` on empty input.
+        """
+        ranking = self.rank(text)
+        if not ranking:
+            raise DialectError("cannot detect the dialect of empty text")
+        return ranking[0].dialect
+
+    def rank(self, text: str) -> list[ScoredDialect]:
+        """All candidate dialects scored and sorted best-first."""
+        sample = self._sample(text)
+        if not sample.strip():
+            return []
+        scored: list[ScoredDialect] = []
+        for rank, dialect in enumerate(self._candidates(sample)):
+            rows = parse_csv_text(sample, dialect)
+            p = pattern_score(rows)
+            t = type_score(rows)
+            scored.append(ScoredDialect(dialect, p * t, p, t))
+        # Stable sort: score descending, then candidate preference order
+        # (enumeration order) ascending via the stable sort guarantee.
+        scored.sort(key=lambda s: -s.score)
+        return scored
+
+    # ------------------------------------------------------------------
+    def _sample(self, text: str) -> str:
+        lines = text.splitlines(keepends=True)
+        return "".join(lines[: self.max_lines])
+
+    def _candidates(self, sample: str) -> list[Dialect]:
+        present = set(sample)
+        delimiters = [d for d in CANDIDATE_DELIMITERS if d in present]
+        if not delimiters:
+            # A file with no candidate delimiter is a one-column file;
+            # default to the standard dialect.
+            delimiters = [","]
+        quotes = [q for q in CANDIDATE_QUOTES if not q or q in present]
+        if "" not in quotes:
+            quotes.append("")
+        escapes = [e for e in CANDIDATE_ESCAPES if not e or e in present]
+        if "" not in escapes:
+            escapes.append("")
+
+        candidates: list[Dialect] = []
+        for delimiter in delimiters:
+            for quote in quotes:
+                if quote == delimiter:
+                    continue
+                for escape in escapes:
+                    if escape and escape in (delimiter, quote):
+                        continue
+                    candidates.append(
+                        Dialect(
+                            delimiter=delimiter,
+                            quotechar=quote,
+                            escapechar=escape,
+                        )
+                    )
+        return candidates
+
+
+def detect_dialect(text: str, max_lines: int = 100) -> Dialect:
+    """Convenience wrapper: detect the dialect of ``text``."""
+    return DialectDetector(max_lines=max_lines).detect(text)

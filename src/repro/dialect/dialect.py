@@ -1,0 +1,50 @@
+"""The :class:`Dialect` value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DialectError
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """A CSV dialect: delimiter, quote character, escape character.
+
+    ``delimiter`` must be a single character.  ``quotechar`` and
+    ``escapechar`` may be empty strings, meaning "no quoting" /
+    "no escaping" respectively.
+    """
+
+    delimiter: str
+    quotechar: str = '"'
+    escapechar: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.delimiter) != 1:
+            raise DialectError(
+                f"delimiter must be a single character, got {self.delimiter!r}"
+            )
+        if len(self.quotechar) > 1:
+            raise DialectError(
+                f"quotechar must be empty or one character, got {self.quotechar!r}"
+            )
+        if len(self.escapechar) > 1:
+            raise DialectError(
+                f"escapechar must be empty or one character, got {self.escapechar!r}"
+            )
+        if self.quotechar and self.quotechar == self.delimiter:
+            raise DialectError("quotechar must differ from delimiter")
+        if self.escapechar and self.escapechar in (self.delimiter, self.quotechar):
+            raise DialectError("escapechar must differ from delimiter and quotechar")
+
+    @classmethod
+    def standard(cls) -> "Dialect":
+        """The RFC-4180 dialect: comma delimiter, double-quote quoting."""
+        return cls(delimiter=",", quotechar='"', escapechar="")
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        quote = self.quotechar or "none"
+        escape = self.escapechar or "none"
+        return f"delimiter={self.delimiter!r} quote={quote!r} escape={escape!r}"

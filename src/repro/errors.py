@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries without swallowing unrelated programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DialectError(ReproError):
+    """Raised when a file's dialect cannot be detected or applied."""
+
+
+class ParseError(ReproError):
+    """Raised when a CSV document cannot be parsed under a given dialect."""
+
+
+class AnnotationError(ReproError):
+    """Raised when ground-truth annotations are malformed or inconsistent."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict`` is called on an estimator before ``fit``."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when an estimator or feature extractor receives a bad setting."""
+
+
+class GenerationError(ReproError):
+    """Raised when a synthetic corpus generator is configured inconsistently."""

@@ -1,0 +1,96 @@
+"""Plain-text rendering of evaluation results.
+
+The benchmark harness prints, for every paper table, the measured
+values next to the published ones so the reproduction can be judged
+line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.runner import ClassificationScores
+from repro.types import CONTENT_CLASSES, CellClass
+
+_CLASS_NAMES = tuple(c.value for c in CONTENT_CLASSES)
+
+
+def format_scores_row(
+    name: str,
+    scores: ClassificationScores,
+    labels: Sequence[CellClass] = CONTENT_CLASSES,
+) -> str:
+    """One algorithm row in the Table 6/7/8 layout."""
+    cells = []
+    for label in CONTENT_CLASSES:
+        if label in scores.per_class_f1 and label in labels:
+            cells.append(f"{scores.per_class_f1[label]:.3f}")
+        else:
+            cells.append("  -  ")
+    cells.append(f"{scores.accuracy:.3f}")
+    cells.append(f"{scores.macro_f1:.3f}")
+    return f"{name:<12} " + " ".join(f"{c:>8}" for c in cells)
+
+
+def format_paper_row(
+    name: str, paper: Mapping[str, float | None]
+) -> str:
+    """One row of published values in the same layout."""
+    cells = []
+    for class_name in _CLASS_NAMES:
+        value = paper.get(class_name)
+        cells.append("  -  " if value is None else f"{value:.3f}")
+    accuracy = paper.get("accuracy")
+    macro = paper.get("macro_avg")
+    cells.append("  -  " if accuracy is None else f"{accuracy:.3f}")
+    cells.append("  -  " if macro is None else f"{macro:.3f}")
+    return f"{name:<12} " + " ".join(f"{c:>8}" for c in cells)
+
+
+def scores_header() -> str:
+    """Column header matching :func:`format_scores_row`."""
+    columns = list(_CLASS_NAMES) + ["accuracy", "macro"]
+    return f"{'':<12} " + " ".join(f"{c[:8]:>8}" for c in columns)
+
+
+def format_comparison_table(
+    title: str,
+    measured: Mapping[str, ClassificationScores],
+    paper: Mapping[str, Mapping[str, float | None]] | None = None,
+) -> str:
+    """A full measured-vs-paper block for one dataset."""
+    lines = [title, scores_header()]
+    for name, scores in measured.items():
+        lines.append(format_scores_row(f"{name}", scores))
+        if paper and name in paper:
+            lines.append(format_paper_row(f"  (paper)", paper[name]))
+    return "\n".join(lines)
+
+
+def format_confusion(
+    matrix: np.ndarray, labels: Sequence[CellClass] = CONTENT_CLASSES
+) -> str:
+    """Render a normalized confusion matrix like Figure 3."""
+    names = [label.value[:8] for label in labels]
+    corner = "actual/pred"
+    header = f"{corner:<12} " + " ".join(f"{n:>8}" for n in names)
+    lines = [header]
+    for i, name in enumerate(names):
+        row = " ".join(f"{matrix[i, j]:>8.3f}" for j in range(len(names)))
+        lines.append(f"{name:<12} {row}")
+    return "\n".join(lines)
+
+
+def format_importance_table(
+    importances: Mapping[str, Mapping[str, float]],
+    top_k: int = 5,
+) -> str:
+    """Per-class top-k feature shares (Figure 4 in text form)."""
+    lines = []
+    for class_name, shares in importances.items():
+        ranked = sorted(shares.items(), key=lambda kv: -kv[1])[:top_k]
+        row = ", ".join(f"{name}={share:.0%}" for name, share in ranked)
+        lines.append(f"{class_name:<10} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Ground-truth annotation serialization.
+
+Annotated files round-trip through a simple JSON schema::
+
+    {
+      "name": "...",
+      "rows": [["raw", "cell", "values"], ...],
+      "line_labels": ["metadata", "header", ...],
+      "cell_labels": [["metadata", "empty", ...], ...]
+    }
+
+which keeps datasets diffable and easy to hand-correct, echoing the
+paper's published annotation format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import AnnotationError
+from repro.types import AnnotatedFile, CellClass, Corpus, Table
+
+
+def annotated_file_to_dict(annotated: AnnotatedFile) -> dict:
+    """JSON-serializable dictionary form of an annotated file."""
+    return {
+        "name": annotated.name,
+        "rows": [list(r) for r in annotated.table.rows()],
+        "line_labels": [label.value for label in annotated.line_labels],
+        "cell_labels": [
+            [label.value for label in row] for row in annotated.cell_labels
+        ],
+    }
+
+
+def annotated_file_from_dict(payload: dict) -> AnnotatedFile:
+    """Inverse of :func:`annotated_file_to_dict` with validation."""
+    try:
+        name = payload["name"]
+        rows = payload["rows"]
+        line_labels = [CellClass(v) for v in payload["line_labels"]]
+        cell_labels = [
+            [CellClass(v) for v in row] for row in payload["cell_labels"]
+        ]
+    except (KeyError, ValueError) as exc:
+        raise AnnotationError(f"malformed annotation payload: {exc}") from exc
+    return AnnotatedFile(
+        name=name,
+        table=Table(rows),
+        line_labels=line_labels,
+        cell_labels=cell_labels,
+    )
+
+
+def save_annotated_file(annotated: AnnotatedFile, path: str | Path) -> None:
+    """Write one annotated file as JSON."""
+    Path(path).write_text(
+        json.dumps(annotated_file_to_dict(annotated), indent=1),
+        encoding="utf-8",
+    )
+
+
+def load_annotated_file(path: str | Path) -> AnnotatedFile:
+    """Read one annotated file from JSON."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return annotated_file_from_dict(payload)
+
+
+def save_corpus(corpus: Corpus, directory: str | Path) -> None:
+    """Write a corpus as one JSON file per annotated file."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for annotated in corpus.files:
+        save_annotated_file(annotated, directory / f"{annotated.name}.json")
+
+
+def load_corpus(directory: str | Path, name: str | None = None) -> Corpus:
+    """Read every ``*.json`` annotation in ``directory`` as a corpus."""
+    directory = Path(directory)
+    files = [
+        load_annotated_file(p) for p in sorted(directory.glob("*.json"))
+    ]
+    if not files:
+        raise AnnotationError(f"no annotation files found in {directory}")
+    return Corpus(name=name or directory.name, files=files)

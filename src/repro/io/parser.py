@@ -1,0 +1,10 @@
+"""Re-export of the dialect-aware tokenizer (see :mod:`repro.parsing`).
+
+Kept for API compatibility: the tokenizer lives in a leaf module so
+both :mod:`repro.io` and :mod:`repro.dialect` can use it without a
+circular import.
+"""
+
+from repro.parsing import parse_csv_text, split_record
+
+__all__ = ["parse_csv_text", "split_record"]

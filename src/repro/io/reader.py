@@ -1,0 +1,32 @@
+"""Reading verbose CSV files into :class:`~repro.types.Table` objects."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.dialect.detector import detect_dialect
+from repro.dialect.dialect import Dialect
+from repro.parsing import parse_csv_text
+from repro.types import Table
+
+
+def read_table_text(text: str, dialect: Dialect | None = None) -> Table:
+    """Parse CSV ``text`` into a rectangular :class:`Table`.
+
+    When ``dialect`` is ``None`` it is detected from the text first —
+    mirroring the paper's preprocessing, which runs dialect detection
+    before any structure analysis.
+    """
+    if dialect is None:
+        dialect = detect_dialect(text)
+    rows = parse_csv_text(text, dialect)
+    if not rows:
+        rows = [[""]]
+    return Table(rows)
+
+
+def read_table(path: str | Path, dialect: Dialect | None = None,
+               encoding: str = "utf-8") -> Table:
+    """Read the CSV file at ``path`` into a :class:`Table`."""
+    text = Path(path).read_text(encoding=encoding)
+    return read_table_text(text, dialect=dialect)

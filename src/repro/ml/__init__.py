@@ -1,0 +1,59 @@
+"""A from-scratch machine-learning library on numpy/scipy.
+
+The paper implements Strudel and its baselines on scikit-learn; that
+library is not available in this environment, so this package provides
+the equivalent estimators:
+
+* :class:`~repro.ml.tree.DecisionTreeClassifier` — CART with Gini
+  impurity.
+* :class:`~repro.ml.forest.RandomForestClassifier` — bagged CART trees
+  with sqrt-feature subsampling and probability voting (the paper's
+  backbone, used with sklearn-like defaults).
+* :class:`~repro.ml.naive_bayes.GaussianNaiveBayes`,
+  :class:`~repro.ml.knn.KNeighborsClassifier`,
+  :class:`~repro.ml.svm.LinearSVM` — the alternative classifiers the
+  paper tested before settling on the random forest.
+* :class:`~repro.ml.crf.LinearChainCRF` — the conditional random field
+  behind the CRF-L baseline.
+* :class:`~repro.ml.rnn.SequenceRNNClassifier` — the recurrent network
+  behind the RNN-C baseline.
+
+plus metrics, grouped/repeated cross-validation and permutation
+feature importance.
+"""
+
+from repro.ml.crf import LinearChainCRF
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.importance import permutation_importance
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_per_class,
+    macro_f1,
+)
+from repro.ml.model_selection import GroupKFold, RepeatedGroupKFold
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import LogarithmicBinner, MinMaxScaler
+from repro.ml.rnn import SequenceRNNClassifier
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
+    "GroupKFold",
+    "KNeighborsClassifier",
+    "LinearChainCRF",
+    "LinearSVM",
+    "LogarithmicBinner",
+    "MinMaxScaler",
+    "RandomForestClassifier",
+    "RepeatedGroupKFold",
+    "SequenceRNNClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_per_class",
+    "macro_f1",
+    "permutation_importance",
+]

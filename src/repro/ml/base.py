@@ -1,0 +1,55 @@
+"""Shared estimator plumbing: validation and the fitted-state contract."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a feature matrix / label vector pair.
+
+    Ensures ``X`` is a 2-D float array, ``y`` a 1-D integer array, and
+    that their first dimensions agree.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} samples but y has {y.shape[0]} labels"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit an estimator on zero samples")
+    return X, y.astype(np.int64)
+
+
+def check_X(X: np.ndarray, n_features: int) -> np.ndarray:
+    """Validate a prediction-time feature matrix against the fitted width."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if X.shape[1] != n_features:
+        raise ValueError(
+            f"X has {X.shape[1]} features; estimator was fitted on "
+            f"{n_features}"
+        )
+    return X
+
+
+def check_fitted(estimator: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` exists and is set."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before prediction"
+        )
+
+
+def classes_and_encoded(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct classes in sorted order and ``y`` re-encoded to 0..K-1."""
+    classes, encoded = np.unique(y, return_inverse=True)
+    return classes, encoded

@@ -1,0 +1,71 @@
+"""Permutation feature importance.
+
+Section 6.3.5 of the paper uses permutation importance — chosen because
+"it does not favor high cardinality features" — on one-vs-rest models
+to measure per-class feature influence.  This module implements the
+generic primitive; the one-vs-rest orchestration lives in
+:mod:`repro.eval.experiments`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.ml.metrics import accuracy_score
+from repro.util.rng import as_generator
+
+
+class _Predictor(Protocol):
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def permutation_importance(
+    model: _Predictor,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_repeats: int = 5,
+    scorer: Callable[[Sequence, Sequence], float] = accuracy_score,
+    random_state: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Mean score drop when each feature column is shuffled.
+
+    For every feature, the column is permuted ``n_repeats`` times (the
+    paper repeats five times and averages) and the drop relative to the
+    baseline score is averaged.  Returns an array of length
+    ``n_features``; larger values mean the model leans harder on that
+    feature.
+    """
+    if n_repeats < 1:
+        raise InvalidParameterError("n_repeats must be >= 1")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    rng = as_generator(random_state)
+
+    baseline = scorer(y, model.predict(X))
+    n_features = X.shape[1]
+    importances = np.zeros(n_features)
+    for feature in range(n_features):
+        drops = []
+        for _ in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, feature] = rng.permutation(shuffled[:, feature])
+            drops.append(baseline - scorer(y, model.predict(shuffled)))
+        importances[feature] = float(np.mean(drops))
+    return importances
+
+
+def normalize_importances(importances: np.ndarray) -> np.ndarray:
+    """Clamp negatives to zero and scale to sum 1 (for stacked bars).
+
+    Figure 4 presents importances as 100% stacked bars; negative drops
+    (noise) are treated as zero influence.  An all-zero vector maps to
+    the uniform distribution so the bar is still drawable.
+    """
+    clipped = np.clip(importances, 0.0, None)
+    total = clipped.sum()
+    if total == 0:
+        return np.full_like(clipped, 1.0 / len(clipped))
+    return clipped / total

@@ -1,0 +1,65 @@
+"""k-nearest-neighbours classifier (brute force, Euclidean).
+
+Part of the classifier-choice ablation (Section 6.1.2 of the paper).
+Distance computation is blocked so memory stays bounded on large
+feature matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.ml.base import check_fitted, check_X, check_X_y
+
+
+class KNeighborsClassifier:
+    """Majority vote among the ``n_neighbors`` closest training samples."""
+
+    def __init__(self, n_neighbors: int = 5, block_size: int = 1024):
+        if n_neighbors < 1:
+            raise InvalidParameterError("n_neighbors must be >= 1")
+        if block_size < 1:
+            raise InvalidParameterError("block_size must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.block_size = block_size
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorize the training set."""
+        X, y = check_X_y(X, y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self._X = X
+        self._y = encoded
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Neighbourhood class frequencies per query sample."""
+        check_fitted(self, "_X")
+        X = check_X(X, self.n_features_)
+        k = min(self.n_neighbors, len(self._X))
+        n_classes = len(self.classes_)
+        proba = np.zeros((X.shape[0], n_classes))
+        train_sq = np.einsum("ij,ij->i", self._X, self._X)
+        for start in range(0, X.shape[0], self.block_size):
+            block = X[start : start + self.block_size]
+            distances = (
+                train_sq[None, :]
+                - 2.0 * block @ self._X.T
+                + np.einsum("ij,ij->i", block, block)[:, None]
+            )
+            neighbour_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            votes = self._y[neighbour_idx]
+            for row, vote_row in enumerate(votes):
+                counts = np.bincount(vote_row, minlength=n_classes)
+                proba[start + row] = counts / k
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority class among the nearest neighbours."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,104 @@
+"""Classification metrics used throughout the evaluation.
+
+The paper reports per-class F1, accuracy and the macro-average F1
+("which does not weigh the average score with the support of
+individual classes"), plus confusion matrices normalized by the number
+of instances per actual class.  These functions implement exactly
+those quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+def _align(y_true: Sequence, y_pred: Sequence) -> tuple[list, list]:
+    y_true = list(y_true)
+    y_pred = list(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"y_true has {len(y_true)} items, y_pred has {len(y_pred)}"
+        )
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _align(y_true, y_pred)
+    if not y_true:
+        return 0.0
+    hits = sum(1 for t, p in zip(y_true, y_pred) if t == p)
+    return hits / len(y_true)
+
+
+def f1_per_class(
+    y_true: Sequence,
+    y_pred: Sequence,
+    labels: Sequence[Hashable] | None = None,
+) -> dict[Hashable, float]:
+    """Per-class F1 scores.
+
+    ``labels`` fixes the classes reported (and their order); by default
+    every class present in either vector is included.  A class with no
+    true and no predicted instances scores 0.0, following the common
+    "zero division → 0" convention.
+    """
+    y_true, y_pred = _align(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(y_true) | set(y_pred), key=str)
+    scores: dict[Hashable, float] = {}
+    for label in labels:
+        tp = sum(1 for t, p in zip(y_true, y_pred) if t == label and p == label)
+        fp = sum(1 for t, p in zip(y_true, y_pred) if t != label and p == label)
+        fn = sum(1 for t, p in zip(y_true, y_pred) if t == label and p != label)
+        denominator = 2 * tp + fp + fn
+        scores[label] = (2 * tp / denominator) if denominator else 0.0
+    return scores
+
+
+def macro_f1(
+    y_true: Sequence,
+    y_pred: Sequence,
+    labels: Sequence[Hashable] | None = None,
+) -> float:
+    """Unweighted mean of the per-class F1 scores."""
+    scores = f1_per_class(y_true, y_pred, labels=labels)
+    if not scores:
+        return 0.0
+    return sum(scores.values()) / len(scores)
+
+
+def confusion_matrix(
+    y_true: Sequence,
+    y_pred: Sequence,
+    labels: Sequence[Hashable],
+    normalize: bool = False,
+) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true ``labels[i]``
+    predicted as ``labels[j]``.
+
+    With ``normalize=True`` each row is divided by the number of true
+    instances of its class (rows of absent classes stay all-zero),
+    matching Figure 3 of the paper.
+    """
+    y_true, y_pred = _align(y_true, y_pred)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.float64)
+    for t, p in zip(y_true, y_pred):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1.0
+    if normalize:
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            matrix = np.where(row_sums > 0, matrix / row_sums, 0.0)
+    return matrix
+
+
+def support_per_class(
+    y_true: Sequence, labels: Sequence[Hashable]
+) -> dict[Hashable, int]:
+    """Number of true instances per class."""
+    y_true = list(y_true)
+    return {label: sum(1 for t in y_true if t == label) for label in labels}

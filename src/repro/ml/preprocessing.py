@@ -1,0 +1,83 @@
+"""Feature preprocessing: scaling and logarithmic binning.
+
+``LogarithmicBinner`` implements the binning technique of Adelfio &
+Samet that the paper applies to the CRF-L baseline ("we applied this
+approach with the logarithmic binning technique introduced by the
+authors, as this setting was reported to gain the best performance"):
+continuous feature values are discretized into exponentially growing
+buckets, generalizing the training data for the CRF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, NotFittedError
+
+
+class MinMaxScaler:
+    """Scale each feature column to [0, 1] based on training extremes."""
+
+    def __init__(self) -> None:
+        self._low: np.ndarray | None = None
+        self._span: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Record column minima and ranges."""
+        X = np.asarray(X, dtype=np.float64)
+        self._low = X.min(axis=0)
+        span = X.max(axis=0) - self._low
+        span[span == 0] = 1.0  # constant columns map to 0
+        self._span = span
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted scaling, clipping to [0, 1]."""
+        if self._low is None:
+            raise NotFittedError("MinMaxScaler must be fitted first")
+        X = np.asarray(X, dtype=np.float64)
+        return np.clip((X - self._low) / self._span, 0.0, 1.0)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+
+class LogarithmicBinner:
+    """Discretize non-negative values into logarithmic buckets.
+
+    Value ``v`` maps to ``floor(log2(1 + v / scale))``, capped at
+    ``n_bins - 1``.  Bucket widths double as values grow, so small
+    differences near zero stay distinguishable while large values
+    generalize — the property Adelfio & Samet exploit for CRF features.
+    """
+
+    def __init__(self, n_bins: int = 8, scale: float = 1.0):
+        if n_bins < 2:
+            raise InvalidParameterError("n_bins must be >= 2")
+        if scale <= 0:
+            raise InvalidParameterError("scale must be positive")
+        self.n_bins = n_bins
+        self.scale = scale
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Bin every entry of ``X`` (negatives clamp to bucket 0)."""
+        X = np.asarray(X, dtype=np.float64)
+        positive = np.clip(X, 0.0, None)
+        bins = np.floor(np.log2(1.0 + positive / self.scale))
+        return np.clip(bins, 0, self.n_bins - 1).astype(np.int64)
+
+    def one_hot(self, X: np.ndarray) -> np.ndarray:
+        """Binned then one-hot encoded, column-blocked per feature.
+
+        For an input of shape ``(n, d)`` the output has shape
+        ``(n, d * n_bins)``.
+        """
+        binned = self.transform(X)
+        if binned.ndim == 1:
+            binned = binned[:, None]
+        n, d = binned.shape
+        out = np.zeros((n, d * self.n_bins), dtype=np.float64)
+        for j in range(d):
+            out[np.arange(n), j * self.n_bins + binned[:, j]] = 1.0
+        return out

@@ -1,0 +1,260 @@
+"""Bidirectional recurrent network for per-position sequence labelling.
+
+This powers the RNN-C baseline (Ghasemi-Gol et al.): each cell of a
+line is embedded into a dense content vector, a bidirectional
+recurrent layer propagates context along the line, and a softmax head
+labels every position.  The original work uses pretrained cell
+embeddings plus a recurrent architecture; our from-scratch variant
+keeps the architecture (bidirectional recurrence over cell vectors,
+trained end-to-end with Adam and BPTT) while the embeddings come from
+:mod:`repro.baselines.embeddings`.
+
+Everything is numpy: forward, full backpropagation-through-time, Adam,
+and gradient clipping.  Sequences are padded and masked so one batch
+is a single set of matrix multiplies per time step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.util.rng import as_generator
+
+
+def _pad(sequences: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    n = len(sequences)
+    t_max = max(len(s) for s in sequences)
+    d = sequences[0].shape[1]
+    X = np.zeros((n, t_max, d))
+    mask = np.zeros((n, t_max), dtype=bool)
+    for i, seq in enumerate(sequences):
+        X[i, : len(seq)] = seq
+        mask[i, : len(seq)] = True
+    return X, mask
+
+
+class _Adam:
+    """Adam optimizer state over a dict of parameter arrays."""
+
+    def __init__(self, params: dict[str, np.ndarray], lr: float):
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = 0.9, 0.999, 1e-8
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+        self.t = 0
+
+    def step(self, params: dict[str, np.ndarray],
+             grads: dict[str, np.ndarray]) -> None:
+        self.t += 1
+        for key, grad in grads.items():
+            self.m[key] = self.beta1 * self.m[key] + (1 - self.beta1) * grad
+            self.v[key] = (
+                self.beta2 * self.v[key] + (1 - self.beta2) * grad**2
+            )
+            m_hat = self.m[key] / (1 - self.beta1**self.t)
+            v_hat = self.v[key] / (1 - self.beta2**self.t)
+            params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class SequenceRNNClassifier:
+    """Bidirectional Elman RNN with a per-position softmax head.
+
+    Parameters
+    ----------
+    hidden_size:
+        Width of each directional hidden state.
+    epochs:
+        Training passes over the data.
+    learning_rate:
+        Adam step size.
+    batch_size:
+        Sequences per parameter update.
+    clip:
+        Max gradient L2 norm (BPTT explodes without clipping).
+    random_state:
+        Seed for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        epochs: int = 15,
+        learning_rate: float = 1e-2,
+        batch_size: int = 32,
+        clip: float = 5.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        if hidden_size < 1:
+            raise InvalidParameterError("hidden_size must be >= 1")
+        if epochs < 1:
+            raise InvalidParameterError("epochs must be >= 1")
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.clip = clip
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+        self._params: dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def _init_params(self, d: int, k: int,
+                     rng: np.random.Generator) -> dict[str, np.ndarray]:
+        h = self.hidden_size
+
+        def glorot(rows: int, cols: int) -> np.ndarray:
+            scale = np.sqrt(6.0 / (rows + cols))
+            return rng.uniform(-scale, scale, size=(rows, cols))
+
+        return {
+            "Wx_f": glorot(d, h), "Wh_f": glorot(h, h), "b_f": np.zeros(h),
+            "Wx_b": glorot(d, h), "Wh_b": glorot(h, h), "b_b": np.zeros(h),
+            "Wo": glorot(2 * h, k), "bo": np.zeros(k),
+        }
+
+    # ------------------------------------------------------------------
+    def fit(self, sequences: list[np.ndarray],
+            labels: list[np.ndarray]) -> "SequenceRNNClassifier":
+        """Train with BPTT + Adam on ``(T_i, d)`` sequences."""
+        if not sequences:
+            raise ValueError("cannot fit on zero sequences")
+        sequences = [np.asarray(s, dtype=np.float64) for s in sequences]
+        raw_labels = [np.asarray(l) for l in labels]
+        self.classes_ = np.unique(np.concatenate(raw_labels))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        encoded = [
+            np.array([class_index[c] for c in lab], dtype=np.int64)
+            for lab in raw_labels
+        ]
+        self.n_features_ = sequences[0].shape[1]
+        d, k = self.n_features_, len(self.classes_)
+
+        rng = as_generator(self.random_state)
+        params = self._init_params(d, k, rng)
+        optimizer = _Adam(params, self.learning_rate)
+
+        order = np.arange(len(sequences))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                X, mask = _pad([sequences[i] for i in batch])
+                y = np.zeros(mask.shape, dtype=np.int64)
+                for row, i in enumerate(batch):
+                    y[row, : len(encoded[i])] = encoded[i]
+                grads = self._loss_and_grads(params, X, mask, y)[1]
+                self._clip(grads)
+                optimizer.step(params, grads)
+        self._params = params
+        return self
+
+    def _clip(self, grads: dict[str, np.ndarray]) -> None:
+        norm = np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+        if norm > self.clip:
+            scale = self.clip / norm
+            for g in grads.values():
+                g *= scale
+
+    # ------------------------------------------------------------------
+    def _forward(self, params: dict[str, np.ndarray], X: np.ndarray,
+                 mask: np.ndarray):
+        """Forward pass; returns hidden states and logits."""
+        n, t_max, _ = X.shape
+        h = self.hidden_size
+        h_f = np.zeros((n, t_max, h))
+        h_b = np.zeros((n, t_max, h))
+        prev = np.zeros((n, h))
+        for t in range(t_max):
+            raw = X[:, t] @ params["Wx_f"] + prev @ params["Wh_f"] + params["b_f"]
+            state = np.tanh(raw)
+            state = np.where(mask[:, t][:, None], state, prev)
+            h_f[:, t] = state
+            prev = state
+        prev = np.zeros((n, h))
+        for t in range(t_max - 1, -1, -1):
+            raw = X[:, t] @ params["Wx_b"] + prev @ params["Wh_b"] + params["b_b"]
+            state = np.tanh(raw)
+            state = np.where(mask[:, t][:, None], state, prev)
+            h_b[:, t] = state
+            prev = state
+        concat = np.concatenate([h_f, h_b], axis=2)  # (N, T, 2H)
+        logits = concat @ params["Wo"] + params["bo"]
+        return h_f, h_b, concat, logits
+
+    def _loss_and_grads(self, params, X, mask, y):
+        n, t_max, _ = X.shape
+        h = self.hidden_size
+        h_f, h_b, concat, logits = self._forward(params, X, mask)
+
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        proba = exp / exp.sum(axis=2, keepdims=True)
+        count = max(int(mask.sum()), 1)
+
+        rows, cols = np.nonzero(mask)
+        log_p = np.log(proba[rows, cols, y[rows, cols]] + 1e-12)
+        loss = -log_p.sum() / count
+
+        dlogits = proba.copy()
+        dlogits[rows, cols, y[rows, cols]] -= 1.0
+        dlogits *= mask[:, :, None] / count
+
+        grads = {key: np.zeros_like(value) for key, value in params.items()}
+        grads["Wo"] = np.einsum("nth,ntk->hk", concat, dlogits)
+        grads["bo"] = dlogits.sum(axis=(0, 1))
+        dconcat = dlogits @ params["Wo"].T  # (N, T, 2H)
+        dh_f = dconcat[:, :, :h]
+        dh_b = dconcat[:, :, h:]
+
+        # BPTT through the forward-direction chain.
+        carry = np.zeros((n, h))
+        for t in range(t_max - 1, -1, -1):
+            dh = dh_f[:, t] + carry
+            active = mask[:, t][:, None]
+            dtanh = dh * (1.0 - h_f[:, t] ** 2) * active
+            prev_state = h_f[:, t - 1] if t > 0 else np.zeros((n, h))
+            grads["Wx_f"] += X[:, t].T @ dtanh
+            grads["Wh_f"] += prev_state.T @ dtanh
+            grads["b_f"] += dtanh.sum(axis=0)
+            # Padded steps pass the hidden state through untouched.
+            carry = dtanh @ params["Wh_f"].T + dh * (~mask[:, t])[:, None]
+
+        # BPTT through the backward-direction chain.
+        carry = np.zeros((n, h))
+        for t in range(t_max):
+            dh = dh_b[:, t] + carry
+            active = mask[:, t][:, None]
+            dtanh = dh * (1.0 - h_b[:, t] ** 2) * active
+            prev_state = (
+                h_b[:, t + 1] if t + 1 < t_max else np.zeros((n, h))
+            )
+            grads["Wx_b"] += X[:, t].T @ dtanh
+            grads["Wh_b"] += prev_state.T @ dtanh
+            grads["b_b"] += dtanh.sum(axis=0)
+            carry = dtanh @ params["Wh_b"].T + dh * (~mask[:, t])[:, None]
+
+        return loss, grads
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, sequences: list[np.ndarray]) -> list[np.ndarray]:
+        """Per-position class probabilities for each sequence."""
+        if self._params is None:
+            raise NotFittedError("SequenceRNNClassifier must be fitted first")
+        out: list[np.ndarray] = []
+        for seq in sequences:
+            seq = np.asarray(seq, dtype=np.float64)
+            X, mask = _pad([seq])
+            logits = self._forward(self._params, X, mask)[3][0, : len(seq)]
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            out.append(exp / exp.sum(axis=1, keepdims=True))
+        return out
+
+    def predict(self, sequences: list[np.ndarray]) -> list[np.ndarray]:
+        """Most probable class per position for each sequence."""
+        return [
+            self.classes_[np.argmax(proba, axis=1)]
+            for proba in self.predict_proba(sequences)
+        ]

@@ -1,0 +1,115 @@
+"""Dialect-aware CSV tokenizer.
+
+This is a from-scratch implementation of RFC-4180 parsing generalized
+to arbitrary dialects: any single-character delimiter, an optional
+quote character, and an optional escape character.  It is the single
+code path used both by the dialect detector (which must parse the same
+text under many candidate dialects) and by the user-facing reader.
+
+The grammar implemented here:
+
+* Records are separated by ``\\n``, ``\\r\\n`` or ``\\r``.
+* Fields are separated by the dialect delimiter.
+* A field may be quoted: it then starts and ends with the quote
+  character, may contain delimiters and newlines, and represents an
+  embedded quote either as a doubled quote (RFC 4180) or as an escaped
+  quote when an escape character is configured.
+* Outside quotes, an escape character makes the following character
+  literal.
+
+Malformed input (e.g. an unterminated quote) is handled leniently —
+the remainder of the text becomes part of the current field — because
+dialect detection must be able to score *wrong* dialects without
+raising.
+"""
+
+from __future__ import annotations
+
+from repro.dialect.dialect import Dialect
+
+
+def split_record(line: str, dialect: Dialect) -> list[str]:
+    """Split a single record (no embedded newlines) into fields."""
+    records = parse_csv_text(line, dialect)
+    if not records:
+        return [""]
+    return records[0]
+
+
+def parse_csv_text(text: str, dialect: Dialect) -> list[list[str]]:
+    """Parse ``text`` into records of fields under ``dialect``.
+
+    Returns a list of records; each record is a list of raw field
+    strings with quotes and escapes resolved.  The trailing newline of
+    the text does not produce an extra empty record.
+    """
+    delimiter = dialect.delimiter
+    quote = dialect.quotechar or ""
+    escape = dialect.escapechar or ""
+
+    records: list[list[str]] = []
+    fields: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    i = 0
+    n = len(text)
+
+    def end_field() -> None:
+        fields.append("".join(current))
+        current.clear()
+
+    def end_record() -> None:
+        end_field()
+        records.append(list(fields))
+        fields.clear()
+
+    while i < n:
+        ch = text[i]
+        if in_quotes:
+            if escape and ch == escape and i + 1 < n:
+                current.append(text[i + 1])
+                i += 2
+                continue
+            if quote and ch == quote:
+                if i + 1 < n and text[i + 1] == quote:
+                    # RFC 4180 doubled quote inside a quoted field.
+                    current.append(quote)
+                    i += 2
+                    continue
+                in_quotes = False
+                i += 1
+                continue
+            current.append(ch)
+            i += 1
+            continue
+
+        if escape and ch == escape and i + 1 < n:
+            current.append(text[i + 1])
+            i += 2
+            continue
+        if quote and ch == quote and not current:
+            # A quote opens a quoted field only at field start.
+            in_quotes = True
+            i += 1
+            continue
+        if delimiter and ch == delimiter:
+            end_field()
+            i += 1
+            continue
+        if ch == "\r":
+            end_record()
+            if i + 1 < n and text[i + 1] == "\n":
+                i += 2
+            else:
+                i += 1
+            continue
+        if ch == "\n":
+            end_record()
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+
+    if current or fields or (n > 0 and text[-1] not in "\r\n"):
+        end_record()
+    return records

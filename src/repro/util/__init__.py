@@ -1,0 +1,17 @@
+"""Small shared utilities: text handling, statistics, random streams."""
+
+from repro.util.stats import (
+    bhattacharyya_distance,
+    discounted_cumulative_gain,
+    min_max_normalize,
+)
+from repro.util.text import count_words, is_alphanumeric_word, tokenize_words
+
+__all__ = [
+    "bhattacharyya_distance",
+    "discounted_cumulative_gain",
+    "min_max_normalize",
+    "count_words",
+    "is_alphanumeric_word",
+    "tokenize_words",
+]

@@ -1,0 +1,35 @@
+"""Deterministic random-stream helpers.
+
+Everything in this library that uses randomness (forest bootstraps,
+fold shuffles, corpus generation) accepts a ``seed`` or a numpy
+``Generator``.  These helpers centralize the "seed or generator"
+convention so call sites stay uniform and experiments reproduce
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed (or an existing generator) into a numpy Generator.
+
+    ``None`` yields a freshly seeded, non-deterministic generator;
+    an ``int`` yields a deterministic one; an existing generator is
+    passed through untouched so that callers can share a stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are seeded from the parent stream, so a fixed parent seed
+    produces a fixed family of children — used to give each tree of a
+    random forest its own reproducible stream.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,67 @@
+"""Shared fixtures: hand-built tables and small generated corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import make_saus
+from repro.types import AnnotatedFile, CellClass, Corpus, Table
+
+M = CellClass.METADATA
+H = CellClass.HEADER
+G = CellClass.GROUP
+D = CellClass.DATA
+V = CellClass.DERIVED
+N = CellClass.NOTES
+E = CellClass.EMPTY
+
+
+@pytest.fixture
+def verbose_table() -> Table:
+    """A small verbose CSV table with all six content classes."""
+    return Table(
+        [
+            ["Table 1. Crime report", "", "", ""],
+            ["", "", "", ""],
+            ["State", "2019", "2020", "2021"],
+            ["Alabama", "10", "20", "30"],
+            ["Alaska", "5", "5", "5"],
+            ["Total", "15", "25", "35"],
+            ["", "", "", ""],
+            ["Note: preliminary data.", "", "", ""],
+        ]
+    )
+
+
+@pytest.fixture
+def verbose_file(verbose_table: Table) -> AnnotatedFile:
+    """The fixture table with exact line and cell labels."""
+    return AnnotatedFile(
+        name="fixture",
+        table=verbose_table,
+        line_labels=[M, E, H, D, D, V, E, N],
+        cell_labels=[
+            [M, E, E, E],
+            [E, E, E, E],
+            [H, H, H, H],
+            [D, D, D, D],
+            [D, D, D, D],
+            [G, V, V, V],
+            [E, E, E, E],
+            [N, E, E, E],
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """A small deterministic SAUS-personality corpus (12 files)."""
+    return make_saus(seed=42, scale=0.055)
+
+
+@pytest.fixture(scope="session")
+def train_test_files(tiny_corpus: Corpus):
+    """An 80/20 file split of the tiny corpus."""
+    files = tiny_corpus.files
+    cut = max(1, int(0.8 * len(files)))
+    return files[:cut], files[cut:]

@@ -1,0 +1,158 @@
+"""Fine-grained tests of baseline internals: rules and features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.crf_line import CRFLineClassifier
+from repro.baselines.pytheas import (
+    PytheasLineClassifier,
+    _default_rules,
+    _LineView,
+)
+from repro.datagen import vocab
+from repro.types import DataType, Table
+
+
+def _view(cells: list[str]) -> _LineView:
+    from repro.core.datatypes import infer_data_type
+
+    return _LineView(
+        index=0,
+        n_lines=10,
+        cells=cells,
+        types=[infer_data_type(v) for v in cells],
+    )
+
+
+def _rule(name: str):
+    return next(r for r in _default_rules() if r.name == name)
+
+
+class TestPytheasRules:
+    def test_numeric_majority(self):
+        rule = _rule("numeric_majority")
+        assert rule.votes_data
+        assert rule.fires(_view(["x", "1", "2"]))
+        assert not rule.fires(_view(["x", "y", "1"]))
+        assert not rule.fires(_view(["1"]))  # needs >= 2 cells
+
+    def test_many_cells(self):
+        rule = _rule("many_cells")
+        assert rule.fires(_view(["a", "b", "c"]))
+        assert not rule.fires(_view(["a", "b", ""]))
+
+    def test_leading_key_value_shape(self):
+        rule = _rule("leading_key_value_shape")
+        assert rule.fires(_view(["Alabama", "10", "20"]))
+        assert not rule.fires(_view(["10", "20", "30"]))
+        assert not rule.fires(_view(["Alabama", "x", "20"]))
+
+    def test_single_leading_cell(self):
+        rule = _rule("single_leading_cell")
+        assert not rule.votes_data
+        assert rule.fires(_view(["West", "", ""]))
+        assert not rule.fires(_view(["", "West", ""]))
+
+    def test_long_natural_text(self):
+        rule = _rule("long_natural_text")
+        assert rule.fires(
+            _view(["Note: this is a very long explanatory sentence here."])
+        )
+        assert not rule.fires(_view(["short", "1"]))
+
+    def test_mostly_empty(self):
+        rule = _rule("mostly_empty")
+        assert rule.fires(_view(["x", "", "", "", ""]))
+        assert not rule.fires(_view(["x", "y", "", ""]))
+
+    def test_aggregation_keyword(self):
+        rule = _rule("aggregation_keyword")
+        assert rule.fires(_view(["Total", "1", "2"]))
+        assert not rule.fires(_view(["Totally", "1", "2"]))
+
+    def test_all_string_cells(self):
+        rule = _rule("all_string_cells")
+        assert rule.fires(_view(["State", "Name"]))
+        assert not rule.fires(_view(["State", "1"]))
+
+    def test_unfitted_confidence_uses_unit_weights(self):
+        model = PytheasLineClassifier()
+        confidence = model.data_confidence(_view(["Alabama", "10", "20"]))
+        assert -1.0 <= confidence <= 1.0
+
+
+class TestCRFFeatures:
+    def test_raw_counts(self):
+        model = CRFLineClassifier()
+        counts = model._raw_counts([["Total revenue", "1,234", ""]])
+        # cells, words, characters, numerics
+        assert counts[0, 0] == 2
+        assert counts[0, 1] == 4  # Total, revenue, 1, 234
+        assert counts[0, 3] == 1
+
+    def test_continuous_position_flags(self):
+        model = CRFLineClassifier()
+        rows = [["a"], ["b"], ["c"]]
+        continuous = model._continuous(rows)
+        assert continuous[0, 5] == 1.0  # first line flag
+        assert continuous[2, 6] == 1.0  # last line flag
+        assert continuous[1, 4] == pytest.approx(0.5)  # position
+
+    def test_context_features_are_shifted_copies(self):
+        model = CRFLineClassifier()
+        table = Table([["1", "2"], ["a", "b"], ["3", "4"]])
+        features = model._features(table)
+        continuous = model._continuous(list(table.rows()))
+        d = continuous.shape[1]
+        own_width = features.shape[1] - 2 * d
+        above = features[:, own_width : own_width + d]
+        below = features[:, own_width + d :]
+        assert np.allclose(above[1], continuous[0])
+        assert np.allclose(above[0], 0.0)
+        assert np.allclose(below[1], continuous[2])
+        assert np.allclose(below[2], 0.0)
+
+    def test_no_lexical_keyword_feature(self):
+        """CRF-L must not see the aggregation dictionary — that cue is
+        Strudel's novel feature, not the baseline's."""
+        model = CRFLineClassifier()
+        with_kw = model._features(Table([["Total", "1"], ["x", "2"]]))
+        without = model._features(Table([["Zzzzz", "1"], ["x", "2"]]))
+        assert np.allclose(with_kw, without)
+
+
+class TestVocab:
+    def test_titles_fill_templates(self):
+        rng = np.random.default_rng(0)
+        for domain in ("admin", "business", "science", "foreign"):
+            title = vocab.make_title(rng, domain, 1)
+            assert "{" not in title and "}" not in title
+            assert len(title) > 5
+
+    def test_notes_fill_templates(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            note = vocab.make_note(rng)
+            assert "{" not in note
+
+    def test_config_metadata_shape(self):
+        rng = np.random.default_rng(0)
+        cells = vocab.make_config_metadata(rng)
+        assert len(cells) == 3
+        from repro.core.datatypes import parse_number
+
+        assert parse_number(cells[1]) is not None
+
+    def test_unanchored_words_contain_no_keywords(self):
+        from repro.core.keywords import contains_aggregation_keyword
+
+        for word in vocab.TOTAL_WORDS_UNANCHORED:
+            assert not contains_aggregation_keyword(word), word
+
+    def test_anchored_words_contain_keywords(self):
+        from repro.core.keywords import contains_aggregation_keyword
+
+        for word in vocab.TOTAL_WORDS_ANCHORED:
+            assert contains_aggregation_keyword(word), word

@@ -1,0 +1,150 @@
+"""Tests for the CRF-L, Pytheas-L and RNN-C baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.crf_line import CRFLineClassifier
+from repro.baselines.embeddings import EMBEDDING_SIZE, embed_cell, embed_rows
+from repro.baselines.pytheas import PytheasLineClassifier, _default_rules
+from repro.baselines.rnn_cells import RNNCellClassifier
+from repro.errors import NotFittedError
+from repro.types import CellClass, Table
+
+
+class TestCRFLine:
+    def test_learns_structure(self, train_test_files):
+        train, test = train_test_files
+        model = CRFLineClassifier(max_iter=40).fit(train)
+        hits = total = 0
+        for annotated in test:
+            predictions = model.predict(annotated.table)
+            for i in annotated.non_empty_line_indices():
+                hits += predictions[i] is annotated.line_labels[i]
+                total += 1
+        assert hits / total > 0.75
+
+    def test_empty_lines_stay_empty(self, train_test_files, verbose_table):
+        train, _ = train_test_files
+        model = CRFLineClassifier(max_iter=20).fit(train)
+        predictions = model.predict(verbose_table)
+        assert predictions[1] is CellClass.EMPTY
+
+    def test_predict_before_fit(self, verbose_table):
+        with pytest.raises(NotFittedError):
+            CRFLineClassifier().predict(verbose_table)
+
+    def test_feature_width_is_consistent(self, train_test_files):
+        train, _ = train_test_files
+        model = CRFLineClassifier()
+        widths = {
+            model._features(annotated.table).shape[1]
+            for annotated in train
+        }
+        assert len(widths) == 1
+
+
+class TestPytheas:
+    def test_rules_have_unique_names(self):
+        names = [rule.name for rule in _default_rules()]
+        assert len(names) == len(set(names))
+
+    def test_weights_learned_in_unit_interval(self, train_test_files):
+        train, _ = train_test_files
+        model = PytheasLineClassifier().fit(train)
+        assert model._weights is not None
+        assert all(0.0 <= w <= 1.0 for w in model._weights.values())
+
+    def test_never_predicts_derived(self, train_test_files):
+        train, test = train_test_files
+        model = PytheasLineClassifier().fit(train)
+        for annotated in test:
+            for klass in model.predict(annotated.table):
+                assert klass is not CellClass.DERIVED
+
+    def test_reasonable_data_detection(self, train_test_files):
+        """Data/non-data fusion is the core of Pytheas; binary
+        agreement should be solid even when minority classes suffer."""
+        train, test = train_test_files
+        model = PytheasLineClassifier().fit(train)
+        y_true, y_pred = [], []
+        for annotated in test:
+            predictions = model.predict(annotated.table)
+            for i in annotated.non_empty_line_indices():
+                y_true.append(
+                    annotated.line_labels[i] is CellClass.DATA
+                )
+                y_pred.append(predictions[i] is CellClass.DATA)
+        agreement = np.mean(
+            [t == p for t, p in zip(y_true, y_pred)]
+        )
+        assert agreement > 0.8
+
+    def test_file_without_tables_is_metadata(self, train_test_files):
+        train, _ = train_test_files
+        model = PytheasLineClassifier().fit(train)
+        table = Table(
+            [
+                ["Just a paragraph of text without any numbers at all."],
+                ["Another descriptive sentence follows here."],
+            ]
+        )
+        predictions = model.predict(table)
+        assert predictions[0] is CellClass.METADATA
+
+    def test_table_bodies_bridge_small_gaps(self):
+        bodies = PytheasLineClassifier._table_bodies([2, 3, 5, 11, 12])
+        assert bodies == [(2, 5), (11, 12)]
+
+    def test_unfitted_predict_uses_default_weights(self, verbose_table):
+        model = PytheasLineClassifier()
+        predictions = model.predict(verbose_table)
+        assert len(predictions) == verbose_table.n_rows
+
+
+class TestEmbeddings:
+    def test_embedding_size(self):
+        vector = embed_cell("Total", 0, 0, 4, 4)
+        assert vector.shape == (EMBEDDING_SIZE,)
+
+    def test_keyword_flag(self):
+        with_kw = embed_cell("Total", 0, 0, 4, 4)
+        without = embed_cell("Alabama", 0, 0, 4, 4)
+        assert with_kw[7] == 1.0
+        assert without[7] == 0.0
+
+    def test_embed_rows_skips_empty_lines(self, verbose_table):
+        positions, sequences = embed_rows(verbose_table)
+        assert len(positions) == verbose_table.count_non_empty_rows()
+        flat = [p for line in positions for p in line]
+        assert len(flat) == verbose_table.count_non_empty_cells()
+        for line_positions, sequence in zip(positions, sequences):
+            assert sequence.shape == (len(line_positions), EMBEDDING_SIZE)
+
+
+class TestRNNCell:
+    def test_end_to_end(self, train_test_files):
+        train, test = train_test_files
+        model = RNNCellClassifier(epochs=6, random_state=0).fit(train)
+        hits = total = 0
+        for annotated in test:
+            predictions = model.predict(annotated.table)
+            for i, j, truth in annotated.non_empty_cell_items():
+                hits += predictions[(i, j)] is truth
+                total += 1
+        assert hits / total > 0.6
+
+    def test_covers_all_non_empty_cells(
+        self, train_test_files, verbose_table
+    ):
+        train, _ = train_test_files
+        model = RNNCellClassifier(epochs=2, random_state=0).fit(train)
+        predictions = model.predict(verbose_table)
+        assert set(predictions) == {
+            (c.row, c.col) for c in verbose_table.non_empty_cells()
+        }
+
+    def test_predict_before_fit(self, verbose_table):
+        with pytest.raises(NotFittedError):
+            RNNCellClassifier().predict(verbose_table)

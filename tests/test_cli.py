@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.io.annotations import load_corpus
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "input.csv"
+    path.write_text(
+        "Annual Report\n"
+        ",,,\n"
+        "Region;Q1;Q2\n".replace(";", ",")
+        + "North,5,7\nSouth,6,8\nTotal,11,15\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestDetect:
+    def test_detect_comma(self, csv_file):
+        out = io.StringIO()
+        assert main(["detect", str(csv_file)], out=out) == 0
+        assert "delimiter=','" in out.getvalue()
+
+    def test_detect_semicolon(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("a;1\nb;2\nc;3\n", encoding="utf-8")
+        out = io.StringIO()
+        main(["detect", str(path)], out=out)
+        assert "delimiter=';'" in out.getvalue()
+
+
+class TestClassify:
+    def test_classify_prints_line_classes(self, csv_file):
+        out = io.StringIO()
+        code = main(
+            [
+                "classify", str(csv_file),
+                "--scale", "0.05", "--trees", "8", "--cells",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "dialect:" in text
+        assert "data" in text
+        assert "header" in text or "metadata" in text
+
+
+class TestGenerate:
+    def test_generate_writes_corpus(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "generate", "troy", str(tmp_path / "corpus"),
+                "--scale", "0.02", "--seed", "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        csv_files = list((tmp_path / "corpus" / "csv").glob("*.csv"))
+        assert len(csv_files) >= 2
+        corpus = load_corpus(tmp_path / "corpus" / "annotations")
+        assert len(corpus) == len(csv_files)
+
+    def test_bad_corpus_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", "/tmp/x"])

@@ -1,0 +1,156 @@
+"""Tests for the Table 2 cell feature extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cell_features import (
+    CELL_FEATURE_GROUPS,
+    CELL_FEATURE_NAMES,
+    CellFeatureExtractor,
+)
+from repro.types import CONTENT_CLASSES, DataType, Table
+
+FEATURE_INDEX = {name: i for i, name in enumerate(CELL_FEATURE_NAMES)}
+
+
+@pytest.fixture
+def extraction(verbose_table):
+    positions, features = CellFeatureExtractor().extract(verbose_table)
+    index = {pos: i for i, pos in enumerate(positions)}
+    return index, features
+
+
+def value(extraction, position, name):
+    index, features = extraction
+    return features[index[position], FEATURE_INDEX[name]]
+
+
+class TestShape:
+    def test_one_row_per_non_empty_cell(self, verbose_table):
+        positions, features = CellFeatureExtractor().extract(verbose_table)
+        assert len(positions) == verbose_table.count_non_empty_cells()
+        assert features.shape == (
+            len(positions), len(CELL_FEATURE_NAMES)
+        )
+
+    def test_feature_groups_partition_names(self):
+        grouped = [
+            name
+            for members in CELL_FEATURE_GROUPS.values()
+            for name in members
+        ]
+        assert sorted(grouped) == sorted(CELL_FEATURE_NAMES)
+
+    def test_empty_table_yields_no_rows(self):
+        positions, features = CellFeatureExtractor().extract(
+            Table([["", ""]])
+        )
+        assert positions == []
+        assert features.shape == (0, len(CELL_FEATURE_NAMES))
+
+
+class TestContentFeatures:
+    def test_value_length_normalized_by_longest(self, extraction):
+        # "Note: preliminary data." is the longest cell -> 1.0.
+        assert value(extraction, (7, 0), "value_length") == 1.0
+        assert 0 < value(extraction, (3, 1), "value_length") < 1.0
+
+    def test_data_type_codes(self, extraction):
+        assert value(extraction, (3, 1), "data_type") == float(DataType.INT)
+        assert value(extraction, (3, 0), "data_type") == float(
+            DataType.STRING
+        )
+
+    def test_derived_keyword_flags(self, extraction):
+        assert value(extraction, (5, 0), "has_derived_keywords") == 1.0
+        assert value(extraction, (5, 1), "has_derived_keywords") == 0.0
+        assert value(extraction, (5, 1), "row_has_derived_keywords") == 1.0
+        assert value(extraction, (3, 0), "column_has_derived_keywords") == 1.0
+        assert value(extraction, (3, 1), "column_has_derived_keywords") == 0.0
+
+    def test_positions(self, extraction):
+        assert value(extraction, (0, 0), "row_position") == 0.0
+        assert value(extraction, (7, 0), "row_position") == 1.0
+        assert value(extraction, (3, 3), "column_position") == 1.0
+
+    def test_uniform_line_probability_by_default(self, extraction):
+        for klass in CONTENT_CLASSES:
+            name = f"line_class_probability_{klass.value}"
+            assert value(extraction, (3, 1), name) == pytest.approx(1 / 6)
+
+    def test_line_probabilities_passed_through(self, verbose_table):
+        probabilities = np.zeros((verbose_table.n_rows, 6))
+        probabilities[:, 3] = 1.0  # everything "data"
+        positions, features = CellFeatureExtractor().extract(
+            verbose_table, probabilities
+        )
+        column = FEATURE_INDEX["line_class_probability_data"]
+        assert np.allclose(features[:, column], 1.0)
+
+    def test_probability_shape_validated(self, verbose_table):
+        with pytest.raises(ValueError):
+            CellFeatureExtractor().extract(
+                verbose_table, np.zeros((2, 6))
+            )
+
+
+class TestContextualFeatures:
+    def test_empty_row_flags(self, extraction):
+        # Row 2 (header) has the empty row 1 above it.
+        assert value(extraction, (2, 0), "is_empty_row_before") == 1.0
+        assert value(extraction, (3, 0), "is_empty_row_before") == 0.0
+        # Row 5 (total) has the empty row 6 after it.
+        assert value(extraction, (5, 0), "is_empty_row_after") == 1.0
+
+    def test_boundary_rows_count_as_empty(self, extraction):
+        assert value(extraction, (0, 0), "is_empty_row_before") == 1.0
+        assert value(extraction, (7, 0), "is_empty_row_after") == 1.0
+
+    def test_empty_column_flags(self, extraction):
+        assert value(extraction, (3, 0), "is_empty_column_left") == 1.0
+        assert value(extraction, (3, 3), "is_empty_column_right") == 1.0
+        assert value(extraction, (3, 1), "is_empty_column_left") == 0.0
+
+    def test_row_and_column_empty_ratios(self, extraction):
+        assert value(extraction, (0, 0), "row_empty_cell_ratio") == (
+            pytest.approx(0.75)
+        )
+        # Column 0 has content in 6 of 8 rows.
+        assert value(extraction, (3, 0), "column_empty_cell_ratio") == (
+            pytest.approx(2 / 8)
+        )
+
+    def test_block_size_normalized(self, extraction, verbose_table):
+        # The main table block spans rows 2-5 x 4 cols = 16 cells.
+        total = verbose_table.n_rows * verbose_table.n_cols
+        assert value(extraction, (3, 1), "block_size") == pytest.approx(
+            16 / total
+        )
+        # The title cell is its own block.
+        assert value(extraction, (0, 0), "block_size") == pytest.approx(
+            1 / total
+        )
+
+    def test_neighbor_profile_values(self, extraction):
+        # Cell (3,1)="10": north neighbour is header "2019" (INT).
+        assert value(extraction, (3, 1), "neighbor_data_type_n") == float(
+            DataType.INT
+        )
+        assert value(extraction, (3, 1), "neighbor_data_type_w") == float(
+            DataType.STRING
+        )
+
+    def test_out_of_table_neighbors_get_minus_one(self, extraction):
+        assert value(extraction, (0, 0), "neighbor_data_type_nw") == -1.0
+        assert value(extraction, (0, 0), "neighbor_value_length_n") == -1.0
+
+
+class TestComputationalFeature:
+    def test_is_aggregation_on_total_cells(self, extraction):
+        assert value(extraction, (5, 1), "is_aggregation") == 1.0
+        assert value(extraction, (5, 2), "is_aggregation") == 1.0
+        assert value(extraction, (3, 1), "is_aggregation") == 0.0
+        # The 'Total' label itself is a string, not an aggregate.
+        assert value(extraction, (5, 0), "is_aggregation") == 0.0

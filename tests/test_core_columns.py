@@ -1,0 +1,117 @@
+"""Tests for the column-classification extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.columns import ColumnClassifier, refine_cell_predictions
+from repro.core.strudel import StrudelCellClassifier
+from repro.types import CellClass, Table
+
+
+@pytest.fixture(scope="module")
+def fitted_cells(tiny_corpus):
+    files = tiny_corpus.files
+    cut = max(1, int(0.8 * len(files)))
+    return (
+        StrudelCellClassifier(n_estimators=10, random_state=0).fit(
+            files[:cut]
+        ),
+        files[cut:],
+    )
+
+
+class TestColumnClassifier:
+    def test_one_label_per_column(self, fitted_cells, verbose_table):
+        model, _ = fitted_cells
+        columns = ColumnClassifier(model).predict(verbose_table)
+        assert len(columns) == verbose_table.n_cols
+
+    def test_empty_column_labelled_empty(self, fitted_cells):
+        model, _ = fitted_cells
+        table = Table([["a", "", "1"], ["b", "", "2"]])
+        columns = ColumnClassifier(model).predict(table)
+        assert columns[1] is CellClass.EMPTY
+
+    def test_data_columns_majority_data(self, fitted_cells):
+        model, test_files = fitted_cells
+        annotated = test_files[0]
+        columns = ColumnClassifier(model).predict(annotated.table)
+        # Columns whose ground truth is overwhelmingly data should be
+        # classified data.
+        from collections import Counter
+
+        for j in range(annotated.table.n_cols):
+            truth = Counter(
+                annotated.cell_labels[i][j]
+                for i in range(annotated.table.n_rows)
+                if annotated.cell_labels[i][j] is not CellClass.EMPTY
+            )
+            if not truth:
+                continue
+            top, count = truth.most_common(1)[0]
+            if top is CellClass.DATA and count / sum(truth.values()) > 0.9:
+                assert columns[j] is CellClass.DATA
+                break
+
+    def test_fit_reuses_fitted_model(self, fitted_cells):
+        model, _ = fitted_cells
+        inner = model._model
+        ColumnClassifier(model).fit([])
+        assert model._model is inner
+
+
+class TestRefinement:
+    def test_snaps_minority_data_in_derived_column(self):
+        predictions = {
+            (0, 0): CellClass.DERIVED,
+            (1, 0): CellClass.DERIVED,
+            (2, 0): CellClass.DERIVED,
+            (3, 0): CellClass.DATA,
+        }
+        table = Table([["1"], ["2"], ["3"], ["4"]])
+        refined = refine_cell_predictions(predictions, table)
+        assert refined[(3, 0)] is CellClass.DERIVED
+
+    def test_leaves_other_classes_untouched(self):
+        predictions = {
+            (0, 0): CellClass.DERIVED,
+            (1, 0): CellClass.DERIVED,
+            (2, 0): CellClass.DERIVED,
+            (3, 0): CellClass.GROUP,
+        }
+        table = Table([["1"], ["2"], ["3"], ["x"]])
+        refined = refine_cell_predictions(predictions, table)
+        assert refined[(3, 0)] is CellClass.GROUP
+
+    def test_data_dominance_never_absorbs_derived(self):
+        """The snap is one-directional: a data-dominant column must
+        not erase its scattered derived predictions."""
+        predictions = {
+            (0, 0): CellClass.DATA,
+            (1, 0): CellClass.DATA,
+            (2, 0): CellClass.DATA,
+            (3, 0): CellClass.DERIVED,
+        }
+        table = Table([["1"], ["2"], ["3"], ["6"]])
+        refined = refine_cell_predictions(predictions, table)
+        assert refined[(3, 0)] is CellClass.DERIVED
+
+    def test_no_dominant_class_no_change(self):
+        predictions = {
+            (0, 0): CellClass.DERIVED,
+            (1, 0): CellClass.DATA,
+        }
+        table = Table([["1"], ["2"]])
+        refined = refine_cell_predictions(predictions, table)
+        assert refined == predictions
+
+    def test_input_not_mutated(self):
+        predictions = {
+            (0, 0): CellClass.DERIVED,
+            (1, 0): CellClass.DERIVED,
+            (2, 0): CellClass.DATA,
+        }
+        table = Table([["1"], ["2"], ["3"]])
+        refine_cell_predictions(predictions, table)
+        assert predictions[(2, 0)] is CellClass.DATA

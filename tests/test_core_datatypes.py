@@ -1,0 +1,95 @@
+"""Tests for data-type inference and numeric parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datatypes import infer_data_type, is_numeric_type, parse_number
+from repro.core.keywords import (
+    AGGREGATION_KEYWORDS,
+    contains_aggregation_keyword,
+    line_contains_aggregation_keyword,
+)
+from repro.types import DataType
+
+
+class TestInferDataType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("", DataType.EMPTY),
+            ("   ", DataType.EMPTY),
+            ("42", DataType.INT),
+            ("-7", DataType.INT),
+            ("1,234,567", DataType.INT),
+            ("2019", DataType.INT),  # bare years type as integers
+            ("3.14", DataType.FLOAT),
+            ("-0.5", DataType.FLOAT),
+            ("1,234.5", DataType.FLOAT),
+            ("1e5", DataType.FLOAT),
+            ("2020-01-31", DataType.DATE),
+            ("31/12/2020", DataType.DATE),
+            ("2020/01", DataType.DATE),
+            ("5 March 2019", DataType.DATE),
+            ("Mar 5, 2019", DataType.DATE),
+            ("hello", DataType.STRING),
+            ("Total:", DataType.STRING),
+            ("12 apples", DataType.STRING),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert infer_data_type(value) is expected
+
+    def test_is_numeric_type(self):
+        assert is_numeric_type(DataType.INT)
+        assert is_numeric_type(DataType.FLOAT)
+        assert not is_numeric_type(DataType.STRING)
+        assert not is_numeric_type(DataType.DATE)
+        assert not is_numeric_type(DataType.EMPTY)
+
+
+class TestParseNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("42", 42.0),
+            ("-3.5", -3.5),
+            ("1,234", 1234.0),
+            ("1,234.56", 1234.56),
+            ("$1,000", 1000.0),
+            ("€50", 50.0),
+            ("12%", 12.0),
+            ("(123)", -123.0),
+            ("( 42 )", -42.0),
+            ("  7  ", 7.0),
+        ],
+    )
+    def test_parses(self, value, expected):
+        assert parse_number(value) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "value", ["", "abc", "2020-01-01", "12 apples", "-", "n/a", "()"]
+    )
+    def test_rejects(self, value):
+        assert parse_number(value) is None
+
+
+class TestKeywords:
+    def test_dictionary_matches_paper(self):
+        assert AGGREGATION_KEYWORDS == {
+            "total", "all", "sum", "average", "avg", "mean", "median",
+        }
+
+    @pytest.mark.parametrize(
+        "text", ["Total", "TOTAL:", "Grand total", "All items", "the Avg"]
+    )
+    def test_positive(self, text):
+        assert contains_aggregation_keyword(text)
+
+    @pytest.mark.parametrize("text", ["totally", "summer", "meaning", ""])
+    def test_negative_substrings(self, text):
+        assert not contains_aggregation_keyword(text)
+
+    def test_line_level(self):
+        assert line_contains_aggregation_keyword(["x", "", "Sum"])
+        assert not line_contains_aggregation_keyword(["x", "y"])

@@ -1,0 +1,167 @@
+"""Tests for relational table extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extraction import (
+    ExtractedTable,
+    _segment_regions,
+    extract_tables,
+)
+from repro.core.strudel import StructureResult
+from repro.dialect.dialect import Dialect
+from repro.types import CellClass, Table
+
+M = CellClass.METADATA
+H = CellClass.HEADER
+G = CellClass.GROUP
+D = CellClass.DATA
+V = CellClass.DERIVED
+N = CellClass.NOTES
+E = CellClass.EMPTY
+
+
+def _result(rows, line_classes, cell_classes=None):
+    table = Table(rows)
+    if cell_classes is None:
+        cell_classes = {}
+        for i, klass in enumerate(line_classes):
+            if klass in (E,):
+                continue
+            for j, value in enumerate(table.row(i)):
+                if value.strip():
+                    cell_classes[(i, j)] = klass
+    return StructureResult(
+        dialect=Dialect.standard(),
+        table=table,
+        line_classes=line_classes,
+        cell_classes=cell_classes,
+    )
+
+
+@pytest.fixture
+def classified_file():
+    rows = [
+        ["Report Title", "", ""],
+        ["", "", ""],
+        ["State", "A", "B"],
+        ["North", "", ""],
+        ["x", "1", "2"],
+        ["y", "3", "4"],
+        ["Total", "4", "6"],
+        ["", "", ""],
+        ["Note: something.", "", ""],
+    ]
+    line_classes = [M, E, H, G, D, D, V, E, N]
+    cell_classes = {
+        (0, 0): M,
+        (2, 0): H, (2, 1): H, (2, 2): H,
+        (3, 0): G,
+        (4, 0): D, (4, 1): D, (4, 2): D,
+        (5, 0): D, (5, 1): D, (5, 2): D,
+        (6, 0): G, (6, 1): V, (6, 2): V,
+        (8, 0): N,
+    }
+    return _result(rows, line_classes, cell_classes)
+
+
+class TestSegmentation:
+    def test_single_region(self):
+        assert _segment_regions([M, E, H, D, D, E, N]) == [(2, 4)]
+
+    def test_empty_lines_bridge_regions(self):
+        assert _segment_regions([H, D, E, D, D]) == [(0, 4)]
+
+    def test_metadata_splits_regions(self):
+        classes = [H, D, D, E, M, H, D]
+        assert _segment_regions(classes) == [(0, 2), (5, 6)]
+
+    def test_no_regions(self):
+        assert _segment_regions([M, N, E]) == []
+
+
+class TestExtraction:
+    def test_basic_shape(self, classified_file):
+        tables = extract_tables(classified_file)
+        assert len(tables) == 1
+        extracted = tables[0]
+        assert extracted.columns == ["State", "A", "B"]
+        assert extracted.n_rows == 2
+        assert extracted.metadata == ["Report Title"]
+        assert extracted.notes == ["Note: something."]
+
+    def test_group_context_resolved(self, classified_file):
+        extracted = extract_tables(classified_file)[0]
+        assert all(row.group == "North" for row in extracted.rows)
+
+    def test_derived_dropped_by_default(self, classified_file):
+        extracted = extract_tables(classified_file)[0]
+        assert all(not row.is_derived for row in extracted.rows)
+
+    def test_keep_derived(self, classified_file):
+        extracted = extract_tables(classified_file, keep_derived=True)[0]
+        derived = [row for row in extracted.rows if row.is_derived]
+        assert len(derived) == 1
+        # The 'Total' leading cell is a group cell in the derived line,
+        # so it resolves as that row's group context.
+        assert derived[0].group == "Total"
+
+    def test_to_grid_with_group_column(self, classified_file):
+        grid = extract_tables(classified_file)[0].to_grid()
+        assert grid[0] == ["group", "State", "A", "B"]
+        assert grid[1] == ["North", "x", "1", "2"]
+
+    def test_to_grid_without_group_column(self, classified_file):
+        grid = extract_tables(classified_file)[0].to_grid(
+            include_group_column=False
+        )
+        assert grid[0] == ["State", "A", "B"]
+
+    def test_unlabelled_columns_get_positional_names(self):
+        rows = [["", "A"], ["x", "1"]]
+        result = _result(rows, [H, D])
+        extracted = extract_tables(result)[0]
+        assert extracted.columns == ["column_0", "A"]
+
+    def test_multi_line_headers_joined(self):
+        rows = [["", "2020"], ["State", "Count"], ["x", "1"]]
+        result = _result(rows, [H, H, D])
+        extracted = extract_tables(result)[0]
+        assert extracted.columns == ["State", "2020 Count"]
+
+    def test_stacked_tables_split_and_attribute_context(self):
+        rows = [
+            ["Table 1", ""],
+            ["A", "B"],
+            ["1", "2"],
+            ["Note one.", ""],
+            ["Table 2", ""],
+            ["C", "D"],
+            ["3", "4"],
+            ["Note two.", ""],
+        ]
+        classes = [M, H, D, N, M, H, D, N]
+        tables = extract_tables(_result(rows, classes))
+        assert len(tables) == 2
+        assert tables[0].metadata == ["Table 1"]
+        assert tables[0].notes == ["Note one."]
+        assert tables[1].metadata == ["Table 2"]
+        assert tables[1].notes == ["Note two."]
+
+    def test_file_without_tables(self):
+        result = _result([["hello"]], [M])
+        assert extract_tables(result) == []
+
+    def test_end_to_end_with_pipeline(self, tiny_corpus):
+        from repro.core.strudel import StrudelPipeline
+
+        files = tiny_corpus.files
+        pipeline = StrudelPipeline(n_estimators=10, random_state=0)
+        pipeline.fit(files[:9])
+        result = pipeline.analyze_table(files[10].table)
+        tables = extract_tables(result)
+        assert tables, "the generated file must yield at least one table"
+        assert all(isinstance(t, ExtractedTable) for t in tables)
+        widths = {len(r.values) for t in tables for r in t.rows}
+        assert len(widths) <= 1  # rectangular relations

@@ -1,0 +1,156 @@
+"""Tests for the Table 1 line feature extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.line_features import (
+    GLOBAL_FEATURE_NAMES,
+    LINE_FEATURE_GROUPS,
+    LINE_FEATURE_NAMES,
+    LineFeatureExtractor,
+)
+from repro.types import Table
+
+FEATURE_INDEX = {name: i for i, name in enumerate(LINE_FEATURE_NAMES)}
+
+
+@pytest.fixture
+def features(verbose_table):
+    return LineFeatureExtractor().extract(verbose_table)
+
+
+def value(features, row, name):
+    return features[row, FEATURE_INDEX[name]]
+
+
+class TestShape:
+    def test_one_row_per_line(self, verbose_table, features):
+        assert features.shape == (
+            verbose_table.n_rows, len(LINE_FEATURE_NAMES)
+        )
+
+    def test_all_features_in_unit_interval(self, features):
+        assert features.min() >= 0.0
+        assert features.max() <= 1.0 + 1e-9
+
+    def test_feature_names_partition_into_groups(self):
+        grouped = [
+            name
+            for members in LINE_FEATURE_GROUPS.values()
+            for name in members
+        ]
+        assert sorted(grouped) == sorted(LINE_FEATURE_NAMES)
+
+
+class TestContentFeatures:
+    def test_empty_cell_ratio(self, features):
+        # Metadata line: 1 of 4 cells filled.
+        assert value(features, 0, "empty_cell_ratio") == pytest.approx(0.75)
+        # Data line: all 4 filled.
+        assert value(features, 3, "empty_cell_ratio") == 0.0
+
+    def test_dcg_prefers_left_content(self):
+        table = Table([["x", "", ""], ["", "", "x"]])
+        features = LineFeatureExtractor().extract(table)
+        left = value(features, 0, "discounted_cumulative_gain")
+        right = value(features, 1, "discounted_cumulative_gain")
+        assert left > right
+
+    def test_aggregation_word(self, features):
+        assert value(features, 5, "aggregation_word") == 1.0  # Total row
+        assert value(features, 3, "aggregation_word") == 0.0
+
+    def test_word_amount_is_minmax_normalized(self, features):
+        column = features[:, FEATURE_INDEX["word_amount"]]
+        assert column.min() == 0.0
+        assert column.max() == pytest.approx(1.0)
+
+    def test_numerical_and_string_ratios(self, features):
+        # Data line "Alabama,10,20,30": 3/4 numeric, 1/4 string.
+        assert value(features, 3, "numerical_cell_ratio") == pytest.approx(
+            0.75
+        )
+        assert value(features, 3, "string_cell_ratio") == pytest.approx(0.25)
+        # Header "State,2019,2020,2021": years type as ints.
+        assert value(features, 2, "numerical_cell_ratio") == pytest.approx(
+            0.75
+        )
+
+    def test_line_position(self, features, verbose_table):
+        assert value(features, 0, "line_position") == 0.0
+        last = verbose_table.n_rows - 1
+        assert value(features, last, "line_position") == 1.0
+
+
+class TestContextualFeatures:
+    def test_data_type_matching_skips_empty_lines(self, features):
+        # The notes line (7) has an empty line above (6); its closest
+        # non-empty neighbour above is the Total line (5), col 0 both
+        # strings, other cols numeric-vs-empty -> 1/4 match.
+        assert value(features, 7, "data_type_matching_above") == (
+            pytest.approx(0.25)
+        )
+
+    def test_data_type_matching_boundary_is_zero(self, features):
+        assert value(features, 0, "data_type_matching_above") == 0.0
+
+    def test_adjacent_data_lines_match_fully(self, features):
+        assert value(features, 4, "data_type_matching_above") == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_neighboring_lines(self, features):
+        # Line 0 has no lines above: all 5 window slots count empty.
+        assert value(features, 0, "empty_neighboring_lines_above") == 1.0
+        # Line 3 has lines 2,1,0 above plus 2 out-of-file: lines 1 is
+        # empty, line 2 and 0 are not -> (1 + 2) / 5.
+        assert value(features, 3, "empty_neighboring_lines_above") == (
+            pytest.approx(3 / 5)
+        )
+
+    def test_cell_length_difference_boundary_is_one(self, features):
+        assert value(features, 0, "cell_length_difference_above") == 1.0
+
+    def test_similar_data_lines_have_low_length_difference(self, features):
+        assert value(features, 4, "cell_length_difference_above") < 0.5
+
+
+class TestComputationalFeature:
+    def test_derived_coverage_on_total_line(self, features):
+        assert value(features, 5, "derived_coverage") == pytest.approx(1.0)
+
+    def test_derived_coverage_zero_for_data(self, features):
+        assert value(features, 3, "derived_coverage") == 0.0
+
+
+class TestGlobalFeatures:
+    def test_global_features_appended_when_enabled(self, verbose_table):
+        extractor = LineFeatureExtractor(include_global_features=True)
+        features = extractor.extract(verbose_table)
+        assert features.shape[1] == (
+            len(LINE_FEATURE_NAMES) + len(GLOBAL_FEATURE_NAMES)
+        )
+        # Global features are constant across lines of one file.
+        tail = features[:, len(LINE_FEATURE_NAMES):]
+        assert np.allclose(tail, tail[0])
+
+    def test_feature_names_property(self):
+        plain = LineFeatureExtractor()
+        assert plain.feature_names == LINE_FEATURE_NAMES
+        extended = LineFeatureExtractor(include_global_features=True)
+        assert extended.feature_names == (
+            LINE_FEATURE_NAMES + GLOBAL_FEATURE_NAMES
+        )
+
+
+class TestEdgeCases:
+    def test_single_line_table(self):
+        features = LineFeatureExtractor().extract(Table([["a", "1"]]))
+        assert features.shape[0] == 1
+        assert np.isfinite(features).all()
+
+    def test_fully_empty_table(self):
+        features = LineFeatureExtractor().extract(Table([["", ""]]))
+        assert np.isfinite(features).all()

@@ -1,0 +1,242 @@
+"""Tests for the synthetic corpus generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.derived import DerivedDetector
+from repro.core.keywords import contains_aggregation_keyword
+from repro.datagen.corpora import (
+    CORPUS_BUILDERS,
+    make_cius,
+    make_corpus,
+    make_deex,
+    make_mendeley,
+    make_saus,
+)
+from repro.datagen.filegen import FileBuilder, generate_file
+from repro.datagen.spec import CorpusSpec, FileSpec, TableSpec
+from repro.datagen.values import draw_values, format_value
+from repro.errors import GenerationError
+from repro.types import CellClass
+
+
+class TestValues:
+    def test_draw_values_shape_and_rounding(self):
+        rng = np.random.default_rng(0)
+        values = draw_values(rng, 4, 3, float_values=True)
+        assert values.shape == (4, 3)
+        assert np.allclose(values, np.round(values, 1))
+
+    def test_format_integer_with_separators(self):
+        assert format_value(1234567.0, False, True) == "1,234,567"
+        assert format_value(999.0, False, True) == "999"
+        assert format_value(1234.0, False, False) == "1234"
+
+    def test_format_float(self):
+        assert format_value(3.14159, True, True) == "3.1"
+
+
+class TestFileBuilder:
+    def test_pads_to_widest_row(self):
+        builder = FileBuilder()
+        builder.add_row(["a"], [CellClass.METADATA], CellClass.METADATA)
+        builder.add_row(
+            ["b", "c", "d"], [CellClass.DATA] * 3, CellClass.DATA
+        )
+        annotated = builder.build("x")
+        assert annotated.table.shape == (2, 3)
+        assert annotated.cell_labels[0][1] is CellClass.EMPTY
+
+    def test_empty_cells_forced_to_empty_label(self):
+        builder = FileBuilder()
+        builder.add_row(
+            ["a", ""], [CellClass.DATA, CellClass.DATA], CellClass.DATA
+        )
+        annotated = builder.build("x")
+        assert annotated.cell_labels[0][1] is CellClass.EMPTY
+
+    def test_length_mismatch_raises(self):
+        builder = FileBuilder()
+        with pytest.raises(ValueError):
+            builder.add_row(["a"], [], CellClass.DATA)
+
+
+class TestGeneratedFiles:
+    @pytest.fixture
+    def rng(self):
+        return np.random.default_rng(0)
+
+    def test_labels_are_consistent(self, rng):
+        spec = FileSpec(tables=[TableSpec()])
+        annotated = generate_file(spec, rng, "f")
+        for i, row in enumerate(annotated.table.rows()):
+            for j, value in enumerate(row):
+                label = annotated.cell_labels[i][j]
+                if value.strip():
+                    assert label is not CellClass.EMPTY
+                else:
+                    assert label is CellClass.EMPTY
+
+    def test_anchored_subtotals_are_true_sums(self, rng):
+        spec = FileSpec(
+            tables=[
+                TableSpec(
+                    n_groups=2,
+                    group_subtotals=True,
+                    grand_total=False,
+                    anchored_total_words=True,
+                    missing_value_rate=0.0,
+                )
+            ]
+        )
+        annotated = generate_file(spec, rng, "f")
+        detector = DerivedDetector()
+        detected = detector.detect(annotated.table)
+        derived_truth = {
+            (i, j)
+            for i, j, label in annotated.non_empty_cell_items()
+            if label is CellClass.DERIVED
+        }
+        # Every anchored subtotal is arithmetically recoverable.
+        assert derived_truth
+        assert derived_truth <= detected | derived_truth
+        recovered = len(derived_truth & detected) / len(derived_truth)
+        assert recovered > 0.9
+
+    def test_unanchored_totals_have_no_keywords(self, rng):
+        spec = FileSpec(
+            tables=[
+                TableSpec(
+                    anchored_total_words=False,
+                    plain_key_totals=False,
+                    group_subtotals=True,
+                    grand_total=True,
+                )
+            ]
+        )
+        annotated = generate_file(spec, rng, "f")
+        for i in annotated.non_empty_line_indices():
+            if annotated.line_labels[i] is CellClass.DERIVED:
+                row = annotated.table.row(i)
+                assert not any(
+                    contains_aggregation_keyword(v) for v in row
+                )
+
+    def test_group_column_layout(self, rng):
+        spec = FileSpec(
+            tables=[
+                TableSpec(
+                    n_groups=2, group_column=True, rows_per_group=3,
+                    group_subtotals=False, grand_total=False,
+                )
+            ]
+        )
+        annotated = generate_file(spec, rng, "f")
+        group_cells = [
+            (i, j)
+            for i, j, label in annotated.non_empty_cell_items()
+            if label is CellClass.GROUP
+        ]
+        # Group values live in column 0 and co-occur with data lines.
+        assert group_cells
+        assert all(j == 0 for _, j in group_cells)
+        for i, _ in group_cells:
+            assert annotated.line_labels[i] is CellClass.DATA
+
+    def test_derived_column_marks_row_sums(self, rng):
+        spec = FileSpec(
+            tables=[
+                TableSpec(
+                    n_groups=0, derived_column=True, rows_per_group=4,
+                    group_subtotals=False, grand_total=False,
+                    missing_value_rate=0.0,
+                )
+            ]
+        )
+        annotated = generate_file(spec, rng, "f")
+        last_col = annotated.table.n_cols - 1
+        derived = [
+            (i, j)
+            for i, j, label in annotated.non_empty_cell_items()
+            if label is CellClass.DERIVED
+        ]
+        assert derived
+        assert all(j == last_col for _, j in derived)
+
+    def test_notes_and_metadata_variants(self, rng):
+        spec = FileSpec(
+            metadata_lines=3,
+            metadata_as_table=True,
+            notes_lines=3,
+            notes_as_table=True,
+            tables=[TableSpec()],
+        )
+        annotated = generate_file(spec, rng, "f")
+        classes = set(annotated.non_empty_line_labels())
+        assert CellClass.METADATA in classes
+        assert CellClass.NOTES in classes
+
+
+class TestCorpora:
+    def test_all_personalities_build(self):
+        for name in CORPUS_BUILDERS:
+            corpus = make_corpus(name, seed=0, scale=0.02)
+            assert len(corpus) >= 2
+            assert corpus.total_lines() > 0
+
+    def test_seed_determinism(self):
+        a = make_saus(seed=5, scale=0.03)
+        b = make_saus(seed=5, scale=0.03)
+        for file_a, file_b in zip(a.files, b.files):
+            assert file_a.table == file_b.table
+            assert file_a.line_labels == file_b.line_labels
+
+    def test_different_seeds_differ(self):
+        a = make_saus(seed=1, scale=0.03)
+        b = make_saus(seed=2, scale=0.03)
+        assert any(
+            file_a.table != file_b.table
+            for file_a, file_b in zip(a.files, b.files)
+        )
+
+    def test_unknown_corpus_raises(self):
+        with pytest.raises(GenerationError):
+            make_corpus("unknown")
+
+    def test_scale_controls_file_count(self):
+        small = make_cius(seed=0, scale=0.02)
+        large = make_cius(seed=0, scale=0.06)
+        assert len(large) > len(small)
+
+    def test_negative_scale_raises(self):
+        with pytest.raises(GenerationError):
+            make_saus(seed=0, scale=-1.0)
+
+    def test_mendeley_is_data_dominated(self):
+        corpus = make_mendeley(seed=0, scale=0.05)
+        data_lines = sum(
+            1
+            for annotated in corpus
+            for label in annotated.non_empty_line_labels()
+            if label is CellClass.DATA
+        )
+        assert data_lines / corpus.total_lines() > 0.9
+
+    def test_all_classes_present_in_deex(self):
+        corpus = make_deex(seed=0, scale=0.05)
+        classes = {
+            label
+            for annotated in corpus
+            for label in annotated.non_empty_line_labels()
+        }
+        assert classes == {
+            CellClass.METADATA, CellClass.HEADER, CellClass.GROUP,
+            CellClass.DATA, CellClass.DERIVED, CellClass.NOTES,
+        }
+
+    def test_scaled_files_floor(self):
+        spec = CorpusSpec(name="x", domain="admin", n_files=100)
+        assert spec.scaled_files(0.0001) == 2
+        assert spec.scaled_files(0.5) == 50

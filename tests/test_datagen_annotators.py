@@ -1,0 +1,95 @@
+"""Tests for the simulated annotation protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.annotators import (
+    CONFUSION_PRIOR,
+    AnnotationReport,
+    NoisyAnnotator,
+    annotate_corpus,
+)
+from repro.errors import GenerationError
+from repro.types import CONTENT_CLASSES, CellClass
+
+
+class TestNoisyAnnotator:
+    def test_zero_error_is_perfect(self, tiny_corpus):
+        annotator = NoisyAnnotator(0.0, rng=0)
+        annotated = tiny_corpus.files[0]
+        assert annotator.annotate_file(annotated) == annotated.line_labels
+
+    def test_error_rate_roughly_respected(self):
+        annotator = NoisyAnnotator(0.3, rng=0)
+        flips = sum(
+            annotator.annotate_line(CellClass.DATA) is not CellClass.DATA
+            for _ in range(2000)
+        )
+        assert 0.2 < flips / 2000 < 0.4
+
+    def test_mistakes_follow_confusion_prior(self):
+        annotator = NoisyAnnotator(0.9, rng=1)
+        outcomes = {
+            annotator.annotate_line(CellClass.DERIVED) for _ in range(500)
+        }
+        allowed = {CellClass.DERIVED} | {
+            klass for klass, _ in CONFUSION_PRIOR[CellClass.DERIVED]
+        }
+        assert outcomes <= allowed
+
+    def test_empty_lines_never_flipped(self):
+        annotator = NoisyAnnotator(0.9, rng=0)
+        assert annotator.annotate_line(CellClass.EMPTY) is CellClass.EMPTY
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            NoisyAnnotator(1.0)
+        with pytest.raises(GenerationError):
+            NoisyAnnotator(-0.1)
+
+
+class TestReconciliation:
+    def test_majority_vote_cleans_noise(self, tiny_corpus):
+        """Reconciled labels beat a single annotator's error rate."""
+        reconciled, report = annotate_corpus(
+            tiny_corpus, error_rate=0.05, seed=0
+        )
+        # With 5% independent errors the majority is wrong only when
+        # two annotators err identically — far rarer than 5%.
+        assert report.residual_error_rate < 0.05
+        assert report.total_lines == tiny_corpus.total_lines()
+
+    def test_paper_scale_disagreement(self, tiny_corpus):
+        """At a ~1% per-annotator error rate the disagreement share is
+        a few percent and ties are vanishingly rare — consistent with
+        the paper's 1% disagreement / <250 full ties."""
+        _, report = annotate_corpus(tiny_corpus, error_rate=0.01, seed=0)
+        assert report.disagreement_rate < 0.1
+        assert report.tie_broken <= report.majority_resolved
+
+    def test_zero_noise_is_lossless(self, tiny_corpus):
+        reconciled, report = annotate_corpus(
+            tiny_corpus, error_rate=0.0, seed=0
+        )
+        assert report.disagreement_rate == 0.0
+        assert report.residual_error_rate == 0.0
+        for original, cleaned in zip(tiny_corpus, reconciled):
+            assert original.line_labels == cleaned.line_labels
+
+    def test_counts_partition(self, tiny_corpus):
+        _, report = annotate_corpus(tiny_corpus, error_rate=0.2, seed=0)
+        assert (
+            report.unanimous + report.majority_resolved + report.tie_broken
+            == report.total_lines
+        )
+
+    def test_report_properties_on_empty(self):
+        report = AnnotationReport(0, 0, 0, 0, 0)
+        assert report.disagreement_rate == 0.0
+        assert report.residual_error_rate == 0.0
+
+    def test_tables_preserved(self, tiny_corpus):
+        reconciled, _ = annotate_corpus(tiny_corpus, error_rate=0.1, seed=0)
+        for original, cleaned in zip(tiny_corpus, reconciled):
+            assert original.table is cleaned.table

@@ -1,0 +1,65 @@
+"""Tests for the plain-text acquisition pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.plaintext import (
+    EMISSION_DIALECTS,
+    AcquisitionReport,
+    acquire_plain_text_corpus,
+    is_parseable,
+)
+from repro.dialect.detector import DialectDetector
+from repro.dialect.dialect import Dialect
+from repro.types import Corpus
+
+
+class TestIsParseable:
+    def test_standard_dialect_parses(self, tiny_corpus):
+        annotated = tiny_corpus.files[0]
+        assert is_parseable(
+            annotated, Dialect.standard(), DialectDetector()
+        )
+
+    def test_space_dialect_often_fails(self, tiny_corpus):
+        """Space-delimited emission destroys multi-word cells, so the
+        detected dialect cannot reconstruct the original table."""
+        space = Dialect(delimiter=" ", quotechar="")
+        failures = sum(
+            not is_parseable(annotated, space, DialectDetector())
+            for annotated in tiny_corpus.files[:5]
+        )
+        assert failures >= 1
+
+
+class TestAcquisition:
+    def test_pipeline_filters_and_reports(self, tiny_corpus):
+        kept, report = acquire_plain_text_corpus(tiny_corpus, seed=0)
+        assert report.total == len(tiny_corpus)
+        assert report.parseable == len(kept)
+        assert 0 < report.parseable <= report.total
+        assert sum(t for _, t in report.per_dialect.values()) == report.total
+
+    def test_survivors_keep_annotations(self, tiny_corpus):
+        kept, _ = acquire_plain_text_corpus(tiny_corpus, seed=0)
+        originals = {f.name: f for f in tiny_corpus.files}
+        for annotated in kept:
+            assert annotated.line_labels == originals[annotated.name].line_labels
+
+    def test_deterministic_under_seed(self, tiny_corpus):
+        kept_a, _ = acquire_plain_text_corpus(tiny_corpus, seed=3)
+        kept_b, _ = acquire_plain_text_corpus(tiny_corpus, seed=3)
+        assert [f.name for f in kept_a] == [f.name for f in kept_b]
+
+    def test_report_rate(self):
+        report = AcquisitionReport(total=100, parseable=62, per_dialect={})
+        assert report.parseable_rate == pytest.approx(0.62)
+        assert AcquisitionReport(0, 0, {}).parseable_rate == 0.0
+
+    def test_empty_corpus(self):
+        kept, report = acquire_plain_text_corpus(
+            Corpus("empty", []), seed=0
+        )
+        assert len(kept) == 0
+        assert report.total == 0

@@ -1,0 +1,160 @@
+"""Property-based tests over the corpus generators.
+
+Any table spec the sampler can produce must yield structurally sound
+annotated files: labels consistent with emptiness, aggregates that
+really aggregate, group placement rules respected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datatypes import parse_number
+from repro.datagen.filegen import generate_file
+from repro.datagen.spec import FileSpec, TableSpec
+from repro.types import CellClass
+
+_SPEC = st.builds(
+    TableSpec,
+    n_numeric_cols=st.integers(1, 6),
+    n_groups=st.integers(0, 3),
+    rows_per_group=st.integers(1, 6),
+    header_rows=st.integers(0, 2),
+    numeric_headers=st.booleans(),
+    group_subtotals=st.booleans(),
+    grand_total=st.booleans(),
+    derived_column=st.booleans(),
+    anchored_total_words=st.booleans(),
+    plain_key_totals=st.booleans(),
+    subtotals_on_top=st.booleans(),
+    group_column=st.booleans(),
+    blank_after_header=st.booleans(),
+    blank_between_groups=st.booleans(),
+    missing_value_rate=st.sampled_from([0.0, 0.05, 0.2]),
+    float_values=st.booleans(),
+)
+
+_FILE = st.builds(
+    FileSpec,
+    domain=st.sampled_from(["admin", "business", "science", "foreign"]),
+    metadata_lines=st.integers(0, 3),
+    notes_lines=st.integers(0, 3),
+    notes_as_table=st.booleans(),
+    notes_multicell=st.booleans(),
+    metadata_as_table=st.booleans(),
+    metadata_split_cells=st.booleans(),
+    tables=st.lists(_SPEC, min_size=1, max_size=2),
+)
+
+
+@given(spec=_FILE, seed=st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_generated_labels_are_structurally_sound(spec, seed):
+    annotated = generate_file(spec, np.random.default_rng(seed), "prop")
+    table = annotated.table
+
+    for i in range(table.n_rows):
+        line_label = annotated.line_labels[i]
+        row_empty = table.is_empty_row(i)
+        # Empty lines carry the EMPTY label and vice versa.
+        assert row_empty == (line_label is CellClass.EMPTY)
+        for j in range(table.n_cols):
+            cell_label = annotated.cell_labels[i][j]
+            cell_empty = table.is_empty_cell(i, j)
+            assert cell_empty == (cell_label is CellClass.EMPTY)
+
+    # Non-empty cells in a DATA line are only data/group/derived/notes
+    # (group columns and derived columns legitimately mix in).
+    allowed_in_data = {
+        CellClass.DATA, CellClass.GROUP, CellClass.DERIVED,
+        CellClass.NOTES,
+    }
+    for i in range(table.n_rows):
+        if annotated.line_labels[i] is CellClass.DATA:
+            for j in range(table.n_cols):
+                label = annotated.cell_labels[i][j]
+                if label is not CellClass.EMPTY:
+                    assert label in allowed_in_data
+
+
+@given(seed=st.integers(0, 10_000), n_cols=st.integers(1, 5),
+       rows=st.integers(2, 6))
+@settings(max_examples=50, deadline=None)
+def test_subtotals_sum_displayed_values(seed, n_cols, rows):
+    """Derived subtotal cells equal the sum of the displayed values of
+    their group's data rows (missing cells count as zero)."""
+    spec = FileSpec(
+        metadata_lines=0,
+        notes_lines=0,
+        tables=[
+            TableSpec(
+                n_numeric_cols=n_cols,
+                n_groups=1,
+                rows_per_group=rows,
+                header_rows=1,
+                group_subtotals=True,
+                grand_total=False,
+                derived_column=False,
+                anchored_total_words=True,
+                missing_value_rate=0.1,
+                float_values=False,
+            )
+        ],
+    )
+    annotated = generate_file(spec, np.random.default_rng(seed), "sum")
+    table = annotated.table
+
+    derived_lines = [
+        i
+        for i in range(table.n_rows)
+        if annotated.line_labels[i] is CellClass.DERIVED
+    ]
+    assert len(derived_lines) == 1
+    total_line = derived_lines[0]
+    data_lines = [
+        i
+        for i in range(table.n_rows)
+        if annotated.line_labels[i] is CellClass.DATA
+    ]
+    for j in range(1, 1 + n_cols):
+        expected = sum(
+            parse_number(table.cell(i, j)) or 0.0 for i in data_lines
+        )
+        actual = parse_number(table.cell(total_line, j))
+        assert actual is not None
+        assert abs(actual - expected) < 1e-6
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=30, deadline=None)
+def test_derived_column_cells_are_row_sums(seed):
+    spec = FileSpec(
+        metadata_lines=0,
+        notes_lines=0,
+        tables=[
+            TableSpec(
+                n_numeric_cols=3,
+                n_groups=0,
+                rows_per_group=4,
+                header_rows=1,
+                group_subtotals=False,
+                grand_total=False,
+                derived_column=True,
+                missing_value_rate=0.15,
+            )
+        ],
+    )
+    annotated = generate_file(spec, np.random.default_rng(seed), "col")
+    table = annotated.table
+    last = table.n_cols - 1
+    for i in range(table.n_rows):
+        if annotated.line_labels[i] is not CellClass.DATA:
+            continue
+        row_sum = sum(
+            parse_number(table.cell(i, j)) or 0.0 for j in range(1, last)
+        )
+        derived_value = parse_number(table.cell(i, last))
+        assert derived_value is not None
+        assert abs(derived_value - row_sum) < 1e-6

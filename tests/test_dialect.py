@@ -1,0 +1,132 @@
+"""Tests for dialect detection (:mod:`repro.dialect`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dialect import Dialect, DialectDetector, detect_dialect
+from repro.dialect.patterns import pattern_score, row_pattern
+from repro.dialect.type_score import cell_type_name, is_known_type, type_score
+from repro.errors import DialectError
+
+
+class TestDialectValue:
+    def test_standard(self):
+        dialect = Dialect.standard()
+        assert dialect.delimiter == ","
+        assert dialect.quotechar == '"'
+
+    def test_rejects_multichar_delimiter(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=",,")
+
+    def test_rejects_quote_equal_to_delimiter(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=",", quotechar=",")
+
+    def test_rejects_escape_clash(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=",", quotechar='"', escapechar='"')
+
+    def test_describe(self):
+        assert "delimiter" in Dialect.standard().describe()
+
+
+class TestTypeScore:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("123", "integer"),
+            ("1,234", "integer"),
+            ("-4.5", "float"),
+            ("12%", "percentage"),
+            ("$1,000.50", "currency"),
+            ("2020-01-02", "date"),
+            ("12:30", "time"),
+            ("hello", "word"),
+            ("a@b.com", "email"),
+            ("http://x.org/p", "url"),
+            ("N/A", "missing"),
+            ("", "empty"),
+        ],
+    )
+    def test_known_types(self, value, expected):
+        assert cell_type_name(value) == expected
+
+    def test_unknown_type(self):
+        assert cell_type_name("@@##&&!! garbage ~~ 123abc$%") is None
+        assert not is_known_type("@@##&&!! garbage ~~ 123abc$%")
+
+    def test_score_is_known_fraction(self):
+        rows = [["1", "x&!@#$%^&*()_+ 77y"], ["2", "hello"]]
+        assert type_score(rows) == pytest.approx(0.75)
+
+    def test_empty_rows_floor(self):
+        assert type_score([]) > 0
+
+
+class TestPatternScore:
+    def test_row_pattern_is_width(self):
+        assert row_pattern(["a", "b"]) == 2
+
+    def test_single_column_rows_score_floor(self):
+        assert pattern_score([["a"], ["b"]]) == pytest.approx(1e-10)
+
+    def test_consistent_wide_rows_beat_inconsistent(self):
+        consistent = [["a", "b", "c"]] * 4
+        inconsistent = [["a"], ["a", "b"], ["a", "b", "c"], ["a"]]
+        assert pattern_score(consistent) > pattern_score(inconsistent)
+
+    def test_wider_patterns_score_higher(self):
+        narrow = [["a", "b"]] * 4
+        wide = [["a", "b", "c", "d", "e"]] * 4
+        assert pattern_score(wide) > pattern_score(narrow)
+
+
+class TestDetection:
+    def test_comma_file(self):
+        text = "name,count,share\nalpha,10,0.5\nbeta,20,0.5\n"
+        assert detect_dialect(text).delimiter == ","
+
+    def test_semicolon_file(self):
+        text = "name;count;share\nalpha;10;0,5\nbeta;20;0,5\n"
+        assert detect_dialect(text).delimiter == ";"
+
+    def test_tab_file(self):
+        text = "name\tcount\nalpha\t10\nbeta\t20\n"
+        assert detect_dialect(text).delimiter == "\t"
+
+    def test_pipe_file(self):
+        text = "name|count\nalpha|10\nbeta|20\n"
+        assert detect_dialect(text).delimiter == "|"
+
+    def test_quoted_commas_do_not_fool_detection(self):
+        text = '"last, first";age\n"doe, jane";33\n"roe, rick";40\n'
+        assert detect_dialect(text).delimiter == ";"
+
+    def test_empty_text_raises(self):
+        with pytest.raises(DialectError):
+            detect_dialect("   \n  ")
+
+    def test_single_column_file_defaults_to_comma(self):
+        text = "alpha\nbeta\ngamma\n"
+        assert detect_dialect(text).delimiter == ","
+
+    def test_rank_returns_sorted_scores(self):
+        text = "a,b\nc,d\n"
+        ranking = DialectDetector().rank(text)
+        scores = [s.score for s in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_lines_validation(self):
+        with pytest.raises(DialectError):
+            DialectDetector(max_lines=0)
+
+    def test_detection_is_deterministic(self):
+        text = "x;1\ny;2\nz;3\n"
+        assert detect_dialect(text) == detect_dialect(text)
+
+    def test_sample_bounds_work(self):
+        # Only the first lines matter; junk far below must not break it.
+        text = "a,b,c\n" * 50 + "zzz|zzz|zzz\n" * 500
+        assert DialectDetector(max_lines=20).detect(text).delimiter == ","

@@ -1,0 +1,105 @@
+"""Tests for the Section 6.3.6 error-analysis module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.errors import (
+    ROOT_CAUSES,
+    analyze_errors,
+    data_sink_share,
+    format_error_report,
+)
+from repro.types import CellClass
+
+D = CellClass.DATA
+V = CellClass.DERIVED
+H = CellClass.HEADER
+N = CellClass.NOTES
+
+
+class TestAnalyzeErrors:
+    def test_pattern_above_threshold_reported(self):
+        y_true = [V] * 10 + [D] * 90
+        y_pred = [D] * 4 + [V] * 6 + [D] * 90
+        patterns = analyze_errors(y_true, y_pred)
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.actual is V and pattern.predicted is D
+        assert pattern.count == 4
+        assert pattern.share_of_actual == pytest.approx(0.4)
+        assert pattern.root_cause is not None
+
+    def test_pattern_below_threshold_suppressed(self):
+        y_true = [V] * 100
+        y_pred = [D] * 5 + [V] * 95  # 5% < 10% threshold
+        assert analyze_errors(y_true, y_pred) == []
+
+    def test_sorted_by_share(self):
+        y_true = [V] * 10 + [H] * 10
+        y_pred = [D] * 9 + [V] + [D] * 3 + [H] * 7
+        patterns = analyze_errors(y_true, y_pred)
+        shares = [p.share_of_actual for p in patterns]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_unknown_pattern_has_no_root_cause(self):
+        y_true = [D] * 10
+        y_pred = [N] * 2 + [D] * 8
+        patterns = analyze_errors(y_true, y_pred)
+        assert patterns[0].root_cause is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            analyze_errors([D], [D, D])
+
+    def test_perfect_predictions(self):
+        assert analyze_errors([D, V], [D, V]) == []
+
+
+class TestFormatting:
+    def test_report_lines(self):
+        y_true = [V] * 10
+        y_pred = [D] * 4 + [V] * 6
+        text = format_error_report(analyze_errors(y_true, y_pred))
+        assert "derived as data" in text
+        assert "40%" in text
+
+    def test_empty_report(self):
+        assert "no confusion" in format_error_report([])
+
+
+class TestDataSink:
+    def test_all_errors_to_data(self):
+        y_true = [V, H, N]
+        y_pred = [D, D, D]
+        assert data_sink_share(y_true, y_pred) == 1.0
+
+    def test_mixed_errors(self):
+        y_true = [V, H]
+        y_pred = [D, N]
+        assert data_sink_share(y_true, y_pred) == 0.5
+
+    def test_no_errors(self):
+        assert data_sink_share([V], [V]) == 0.0
+
+    def test_data_errors_excluded(self):
+        # Misclassified *data* lines do not count as minority errors.
+        y_true = [D, V]
+        y_pred = [H, D]
+        assert data_sink_share(y_true, y_pred) == 1.0
+
+
+class TestRootCauses:
+    def test_catalogue_matches_paper_patterns(self):
+        names = {
+            (a.value, p.value) for (a, p) in ROOT_CAUSES
+        }
+        for pair in (
+            ("derived", "data"),
+            ("header", "data"),
+            ("notes", "data"),
+            ("group", "data"),
+            ("metadata", "data"),
+            ("derived", "header"),
+        ):
+            assert pair in names

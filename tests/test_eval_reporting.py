@@ -1,0 +1,76 @@
+"""Tests for result rendering (:mod:`repro.eval.reporting`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.reporting import (
+    format_comparison_table,
+    format_confusion,
+    format_importance_table,
+    format_paper_row,
+    format_scores_row,
+    scores_header,
+)
+from repro.eval.runner import ClassificationScores
+from repro.types import CONTENT_CLASSES, CellClass
+
+
+def _scores():
+    return ClassificationScores.from_predictions(
+        [CellClass.DATA, CellClass.NOTES, CellClass.DATA],
+        [CellClass.DATA, CellClass.NOTES, CellClass.NOTES],
+    )
+
+
+class TestRows:
+    def test_scores_row_contains_all_columns(self):
+        row = format_scores_row("Strudel-L", _scores())
+        assert "Strudel-L" in row
+        assert row.count(".") >= 8
+
+    def test_missing_class_renders_dash(self):
+        scores = ClassificationScores.from_predictions(
+            [CellClass.DATA], [CellClass.DATA],
+            labels=[c for c in CONTENT_CLASSES if c is not CellClass.DERIVED],
+        )
+        row = format_scores_row(
+            "Pytheas-L", scores,
+            labels=[c for c in CONTENT_CLASSES if c is not CellClass.DERIVED],
+        )
+        assert "-" in row
+
+    def test_paper_row_handles_none(self):
+        row = format_paper_row("x", {"metadata": 0.5, "derived": None})
+        assert "0.500" in row
+        assert "-" in row
+
+    def test_header_alignment(self):
+        header = scores_header()
+        assert "metadata" in header
+        assert "macro" in header
+
+
+class TestBlocks:
+    def test_comparison_table_includes_paper_rows(self):
+        block = format_comparison_table(
+            "title",
+            {"Strudel-L": _scores()},
+            {"Strudel-L": {"metadata": 0.9, "accuracy": 0.9,
+                           "macro_avg": 0.9}},
+        )
+        assert "title" in block
+        assert "(paper)" in block
+
+    def test_confusion_rendering(self):
+        matrix = np.eye(6)
+        text = format_confusion(matrix)
+        assert "metadata" in text
+        assert "1.000" in text
+
+    def test_importance_rendering(self):
+        text = format_importance_table(
+            {"data": {"f1": 0.7, "f2": 0.3}}, top_k=1
+        )
+        assert "data" in text
+        assert "f1=70%" in text

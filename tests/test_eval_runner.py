@@ -1,0 +1,199 @@
+"""Tests for the evaluation runners (:mod:`repro.eval.runner`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strudel import StrudelLineClassifier
+from repro.eval.runner import (
+    ClassificationScores,
+    cross_validate_lines,
+    evaluate_cells,
+    evaluate_lines,
+    majority_vote,
+    transfer_lines,
+)
+from repro.types import CONTENT_CLASSES, CellClass, Corpus
+
+
+class _OracleLine:
+    """A fake line algorithm that replays the ground truth."""
+
+    def __init__(self, corpus):
+        self._by_table = {
+            annotated.table: annotated.line_labels
+            for annotated in corpus
+        }
+
+    def fit(self, files):
+        return self
+
+    def predict(self, table):
+        return list(self._by_table[table])
+
+
+class _ConstantCell:
+    """A fake cell algorithm predicting DATA everywhere."""
+
+    def fit(self, files):
+        return self
+
+    def predict(self, table):
+        return {
+            (c.row, c.col): CellClass.DATA
+            for c in table.non_empty_cells()
+        }
+
+
+class TestEvaluate:
+    def test_oracle_scores_perfectly(self, tiny_corpus):
+        model = _OracleLine(tiny_corpus)
+        y_true, y_pred = evaluate_lines(model, tiny_corpus.files)
+        assert y_true == y_pred
+
+    def test_exclude_derived(self, tiny_corpus):
+        model = _OracleLine(tiny_corpus)
+        y_true, _ = evaluate_lines(
+            model, tiny_corpus.files, exclude_derived=True
+        )
+        assert CellClass.DERIVED not in y_true
+
+    def test_keys_align_with_predictions(self, tiny_corpus):
+        model = _OracleLine(tiny_corpus)
+        keys: list = []
+        y_true, _ = evaluate_lines(model, tiny_corpus.files, keys=keys)
+        assert len(keys) == len(y_true)
+        assert keys[0][0] == tiny_corpus.files[0].name
+
+    def test_evaluate_cells_counts(self, tiny_corpus):
+        y_true, y_pred = evaluate_cells(
+            _ConstantCell(), tiny_corpus.files
+        )
+        assert len(y_true) == tiny_corpus.total_cells()
+        assert set(y_pred) == {CellClass.DATA}
+
+
+class TestScores:
+    def test_from_predictions(self):
+        scores = ClassificationScores.from_predictions(
+            [CellClass.DATA, CellClass.NOTES],
+            [CellClass.DATA, CellClass.DATA],
+        )
+        assert scores.per_class_f1[CellClass.NOTES] == 0.0
+        assert scores.accuracy == 0.5
+        assert scores.support[CellClass.DATA] == 1
+
+    def test_average(self):
+        a = ClassificationScores.from_predictions(
+            [CellClass.DATA], [CellClass.DATA]
+        )
+        b = ClassificationScores.from_predictions(
+            [CellClass.DATA], [CellClass.NOTES]
+        )
+        mean = ClassificationScores.average([a, b])
+        assert mean.accuracy == 0.5
+        assert mean.per_class_f1[CellClass.DATA] == 0.5
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            ClassificationScores.average([])
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        votes = {"k": [CellClass.DATA, CellClass.DATA, CellClass.NOTES]}
+        truth = {"k": CellClass.DATA}
+        y_true, y_pred = majority_vote(votes, truth)
+        assert y_pred == [CellClass.DATA]
+
+    def test_tie_breaks_to_rarer_class(self):
+        # DATA is common, NOTES rare in the truth distribution.
+        votes = {
+            "a": [CellClass.DATA, CellClass.NOTES],
+            "b": [CellClass.DATA],
+            "c": [CellClass.DATA],
+        }
+        truth = {
+            "a": CellClass.NOTES,
+            "b": CellClass.DATA,
+            "c": CellClass.DATA,
+        }
+        _, y_pred = majority_vote(votes, truth)
+        assert y_pred[0] is CellClass.NOTES
+
+
+class TestCrossValidation:
+    def test_oracle_cv_is_perfect(self, tiny_corpus):
+        result = cross_validate_lines(
+            tiny_corpus,
+            lambda: _OracleLine(tiny_corpus),
+            n_splits=3,
+            n_repeats=2,
+            seed=0,
+        )
+        assert result.scores.accuracy == 1.0
+        assert result.scores.macro_f1 == pytest.approx(1.0)
+        assert len(result.per_repetition) == 2
+        # Oracle confusion matrix is the identity on present classes.
+        diagonal = np.diag(result.confusion)
+        assert all(d in (0.0, 1.0) for d in np.round(diagonal, 9))
+
+    def test_real_model_cv_runs(self, tiny_corpus):
+        result = cross_validate_lines(
+            tiny_corpus,
+            lambda: StrudelLineClassifier(n_estimators=5, random_state=0),
+            n_splits=3,
+            n_repeats=1,
+            seed=0,
+        )
+        assert 0.5 < result.scores.accuracy <= 1.0
+        assert result.confusion.shape == (6, 6)
+
+    def test_confusion_rows_normalized(self, tiny_corpus):
+        result = cross_validate_lines(
+            tiny_corpus,
+            lambda: _OracleLine(tiny_corpus),
+            n_splits=3,
+            n_repeats=1,
+            seed=0,
+        )
+        sums = result.confusion.sum(axis=1)
+        for row_sum in sums:
+            assert row_sum == pytest.approx(1.0) or row_sum == 0.0
+
+
+class TestTransfer:
+    def test_oracle_transfer(self, tiny_corpus):
+        half = len(tiny_corpus.files) // 2
+        train = Corpus("train", tiny_corpus.files[:half])
+        test = Corpus("test", tiny_corpus.files[half:])
+        oracle = _OracleLine(tiny_corpus)
+        scores = transfer_lines(train, test, lambda: oracle)
+        assert scores.accuracy == 1.0
+
+
+class TestRepetitionVariance:
+    def test_single_repetition_std_is_zero(self, tiny_corpus):
+        result = cross_validate_lines(
+            tiny_corpus,
+            lambda: _OracleLine(tiny_corpus),
+            n_splits=3,
+            n_repeats=1,
+            seed=0,
+        )
+        assert result.macro_f1_std == 0.0
+        assert result.accuracy_std == 0.0
+
+    def test_multi_repetition_std_finite(self, tiny_corpus):
+        from repro.core.strudel import StrudelLineClassifier
+
+        result = cross_validate_lines(
+            tiny_corpus,
+            lambda: StrudelLineClassifier(n_estimators=4, random_state=0),
+            n_splits=3,
+            n_repeats=3,
+            seed=0,
+        )
+        assert len(result.per_repetition) == 3
+        assert 0.0 <= result.macro_f1_std < 0.5

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run to completion.
+
+Marked ``slow`` — each example trains a small model.  They execute in
+a subprocess exactly as a user would run them.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", _EXAMPLES, ids=[p.stem for p in _EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in _EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3, "the paper repo ships at least three examples"

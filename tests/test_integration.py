@@ -1,0 +1,124 @@
+"""End-to-end integration tests across modules.
+
+These mirror the paper's pipeline at miniature scale: generate a
+corpus, serialize files to CSV text with assorted dialects, run
+dialect detection + parsing + cropping + both classifiers, and check
+quality and consistency of the whole chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strudel import StrudelPipeline
+from repro.dialect.dialect import Dialect
+from repro.io.writer import write_csv_text
+from repro.ml.metrics import accuracy_score
+from repro.types import CellClass
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_corpus):
+    files = tiny_corpus.files
+    cut = max(1, int(0.8 * len(files)))
+    pipeline = StrudelPipeline(n_estimators=15, random_state=0)
+    pipeline.fit(files[:cut])
+    return pipeline, files[cut:]
+
+
+class TestTextRoundTrip:
+    @pytest.mark.parametrize(
+        "dialect",
+        [
+            Dialect.standard(),
+            Dialect(delimiter=";"),
+            Dialect(delimiter="\t"),
+            Dialect(delimiter="|", quotechar="'"),
+        ],
+        ids=["comma", "semicolon", "tab", "pipe"],
+    )
+    def test_pipeline_survives_any_dialect(self, pipeline, dialect):
+        """Serialize a test file under each dialect; the pipeline must
+        detect it and classify lines with reasonable accuracy."""
+        model, test_files = pipeline
+        annotated = test_files[0]
+        text = write_csv_text(annotated.table.rows(), dialect)
+        result = model.analyze(text)
+        assert result.dialect.delimiter == dialect.delimiter
+        assert result.table.shape == annotated.table.shape
+        y_true, y_pred = [], []
+        for i in annotated.non_empty_line_indices():
+            y_true.append(annotated.line_labels[i])
+            y_pred.append(result.line_classes[i])
+        assert accuracy_score(y_true, y_pred) > 0.7
+
+    def test_line_and_cell_predictions_are_consistent(self, pipeline):
+        """Cells in confidently-data lines are predominantly data."""
+        model, test_files = pipeline
+        annotated = test_files[0]
+        result = model.analyze_table(annotated.table)
+        data_lines = [
+            i
+            for i, klass in enumerate(result.line_classes)
+            if klass is CellClass.DATA
+        ]
+        matching = total = 0
+        for (i, j), klass in result.cell_classes.items():
+            if i in data_lines:
+                total += 1
+                matching += klass is CellClass.DATA
+        assert total > 0
+        assert matching / total > 0.7
+
+
+class TestQualityFloor:
+    def test_line_accuracy_floor(self, pipeline):
+        model, test_files = pipeline
+        hits = total = 0
+        for annotated in test_files:
+            predictions = model.line_classifier.predict(annotated.table)
+            for i in annotated.non_empty_line_indices():
+                hits += predictions[i] is annotated.line_labels[i]
+                total += 1
+        assert hits / total > 0.85
+
+    def test_cell_accuracy_floor(self, pipeline):
+        model, test_files = pipeline
+        hits = total = 0
+        for annotated in test_files:
+            predictions = model.cell_classifier.predict(annotated.table)
+            for i, j, truth in annotated.non_empty_cell_items():
+                hits += predictions[(i, j)] is truth
+                total += 1
+        assert hits / total > 0.8
+
+    def test_derived_is_the_hardest_class(self, pipeline):
+        """The paper's consistent finding: derived lines score lowest
+        while data lines remain reliably classified."""
+        model, test_files = pipeline
+        from repro.ml.metrics import f1_per_class
+        from repro.types import CONTENT_CLASSES
+
+        y_true, y_pred = [], []
+        for annotated in test_files:
+            predictions = model.line_classifier.predict(annotated.table)
+            for i in annotated.non_empty_line_indices():
+                y_true.append(annotated.line_labels[i])
+                y_pred.append(predictions[i])
+        scores = f1_per_class(y_true, y_pred, labels=CONTENT_CLASSES)
+        assert scores[CellClass.DERIVED] == min(scores.values())
+        assert scores[CellClass.DATA] > 0.85
+
+
+class TestDeterminism:
+    def test_full_pipeline_is_reproducible(self, tiny_corpus):
+        files = tiny_corpus.files
+        results = []
+        for _ in range(2):
+            pipeline = StrudelPipeline(n_estimators=8, random_state=7)
+            pipeline.fit(files[:8])
+            result = pipeline.analyze_table(files[8].table)
+            results.append(result)
+        assert results[0].line_classes == results[1].line_classes
+        assert results[0].cell_classes == results[1].cell_classes

@@ -1,0 +1,74 @@
+"""Tests for the shared estimator plumbing (:mod:`repro.ml.base`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.base import (
+    check_fitted,
+    check_X,
+    check_X_y,
+    classes_and_encoded,
+)
+
+
+class TestCheckXy:
+    def test_coerces_dtypes(self):
+        X, y = check_X_y([[1, 2], [3, 4]], [0, 1])
+        assert X.dtype == np.float64
+        assert y.dtype == np.int64
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros(3), np.zeros(3))
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((3, 2)), np.zeros((3, 1)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((3, 2)), np.zeros(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestCheckX:
+    def test_accepts_matching_width(self):
+        X = check_X([[1.0, 2.0]], n_features=2)
+        assert X.shape == (1, 2)
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X(np.zeros((1, 3)), n_features=2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_X(np.zeros(3), n_features=3)
+
+
+class TestCheckFitted:
+    def test_raises_when_attribute_missing(self):
+        class Stub:
+            model = None
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Stub(), "model")
+
+    def test_passes_when_set(self):
+        class Stub:
+            model = object()
+
+        check_fitted(Stub(), "model")
+
+
+class TestClassesAndEncoded:
+    def test_sorted_classes_and_inverse(self):
+        classes, encoded = classes_and_encoded(np.array([5, 2, 5, 9]))
+        assert classes.tolist() == [2, 5, 9]
+        assert encoded.tolist() == [1, 0, 1, 2]
+        assert np.array_equal(classes[encoded], np.array([5, 2, 5, 9]))

@@ -1,0 +1,103 @@
+"""Tests for the alternative backbones: Naive Bayes, kNN, linear SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.svm import LinearSVM
+
+
+def _blobs(seed=0, n=120):
+    """Three well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [6, 0], [0, 6]])
+    X = np.vstack(
+        [rng.normal(c, 0.7, size=(n // 3, 2)) for c in centers]
+    )
+    y = np.repeat(np.arange(3), n // 3)
+    return X, y
+
+
+class TestGaussianNaiveBayes:
+    def test_separates_blobs(self):
+        X, y = _blobs()
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_proba_normalized(self):
+        X, y = _blobs()
+        proba = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_constant_feature_does_not_crash(self):
+        X, y = _blobs()
+        X = np.hstack([X, np.ones((len(X), 1))])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GaussianNaiveBayes().predict(np.zeros((1, 2)))
+
+
+class TestKNN:
+    def test_separates_blobs(self):
+        X, y = _blobs()
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_one_neighbor_memorizes(self):
+        X, y = _blobs()
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (model.predict(X) == y).mean() == 1.0
+
+    def test_k_larger_than_training_set(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = KNeighborsClassifier(n_neighbors=10).fit(X, y)
+        proba = model.predict_proba(np.array([[0.5]]))
+        assert proba.shape == (1, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_blocking_does_not_change_result(self):
+        X, y = _blobs()
+        small = KNeighborsClassifier(n_neighbors=3, block_size=7).fit(X, y)
+        large = KNeighborsClassifier(n_neighbors=3, block_size=4096).fit(X, y)
+        assert np.array_equal(small.predict(X), large.predict(X))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KNeighborsClassifier(n_neighbors=0)
+
+
+class TestLinearSVM:
+    def test_separates_blobs(self):
+        X, y = _blobs()
+        model = LinearSVM(epochs=30, random_state=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_decision_function_shape(self):
+        X, y = _blobs()
+        model = LinearSVM(random_state=0).fit(X, y)
+        assert model.decision_function(X).shape == (len(X), 3)
+
+    def test_proba_normalized(self):
+        X, y = _blobs()
+        proba = LinearSVM(random_state=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_seed_determinism(self):
+        X, y = _blobs()
+        a = LinearSVM(random_state=4).fit(X, y)
+        b = LinearSVM(random_state=4).fit(X, y)
+        assert np.allclose(a._weights, b._weights)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinearSVM(epochs=0)
+        with pytest.raises(InvalidParameterError):
+            LinearSVM(alpha=-1.0)

@@ -1,0 +1,156 @@
+"""Tests for the linear-chain CRF (:mod:`repro.ml.crf`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.ml.crf import LinearChainCRF, _pad_sequences
+
+
+def _emission_task(seed=0, n_sequences=40):
+    """Labels depend only on the features — a pure emission task."""
+    rng = np.random.default_rng(seed)
+    sequences, labels = [], []
+    for _ in range(n_sequences):
+        length = int(rng.integers(3, 9))
+        X = rng.normal(size=(length, 3))
+        y = (X[:, 0] > 0).astype(int)
+        sequences.append(X)
+        labels.append(y)
+    return sequences, labels
+
+
+def _transition_task(seed=0, n_sequences=60):
+    """Features are pure noise; labels follow a rigid state machine
+    0 -> 1 -> 2 -> 0 -> ...  Only the transitions carry signal."""
+    rng = np.random.default_rng(seed)
+    sequences, labels = [], []
+    for _ in range(n_sequences):
+        length = int(rng.integers(4, 10))
+        sequences.append(rng.normal(size=(length, 2)) * 0.01)
+        labels.append(np.arange(length) % 3)
+    return sequences, labels
+
+
+class TestTraining:
+    def test_learns_emission_signal(self):
+        sequences, labels = _emission_task()
+        crf = LinearChainCRF(max_iter=60).fit(sequences, labels)
+        predictions = crf.predict(sequences)
+        accuracy = np.mean(
+            [(p == y).mean() for p, y in zip(predictions, labels)]
+        )
+        assert accuracy > 0.95
+
+    def test_learns_transition_structure(self):
+        sequences, labels = _transition_task()
+        crf = LinearChainCRF(max_iter=80).fit(sequences, labels)
+        predictions = crf.predict(sequences)
+        accuracy = np.mean(
+            [(p == y).mean() for p, y in zip(predictions, labels)]
+        )
+        # Emissions are noise: only transitions + start potentials can
+        # explain the cycle. Any emission-only model sits near 1/3.
+        assert accuracy > 0.9
+
+    def test_generalizes_to_unseen_sequences(self):
+        train_x, train_y = _emission_task(seed=1)
+        test_x, test_y = _emission_task(seed=2, n_sequences=10)
+        crf = LinearChainCRF(max_iter=60).fit(train_x, train_y)
+        predictions = crf.predict(test_x)
+        accuracy = np.mean(
+            [(p == y).mean() for p, y in zip(predictions, test_y)]
+        )
+        assert accuracy > 0.9
+
+    def test_label_values_preserved(self):
+        sequences, labels = _emission_task()
+        shifted = [y + 10 for y in labels]
+        crf = LinearChainCRF(max_iter=30).fit(sequences, shifted)
+        assert set(np.concatenate(crf.predict(sequences))) <= {10, 11}
+
+    def test_single_position_sequences(self):
+        sequences = [np.array([[1.0, 0.0]]), np.array([[-1.0, 0.0]])] * 10
+        labels = [np.array([1]), np.array([0])] * 10
+        crf = LinearChainCRF(max_iter=40).fit(sequences, labels)
+        predictions = crf.predict(sequences)
+        assert all(len(p) == 1 for p in predictions)
+
+
+class TestValidation:
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF().fit([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF().fit(
+                [np.zeros((2, 1))], [np.array([0, 1, 0])]
+            )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            LinearChainCRF(l2=-1)
+        with pytest.raises(InvalidParameterError):
+            LinearChainCRF(max_iter=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearChainCRF().predict([np.zeros((2, 1))])
+
+
+class TestMarginals:
+    def test_marginals_normalized(self):
+        sequences, labels = _emission_task()
+        crf = LinearChainCRF(max_iter=40).fit(sequences, labels)
+        marginals = crf.predict_marginals(sequences[:3])
+        for seq, marginal in zip(sequences[:3], marginals):
+            assert marginal.shape == (len(seq), 2)
+            assert np.allclose(marginal.sum(axis=1), 1.0)
+
+    def test_marginal_argmax_tracks_viterbi_on_confident_data(self):
+        sequences, labels = _emission_task()
+        crf = LinearChainCRF(max_iter=60).fit(sequences, labels)
+        viterbi = crf.predict(sequences[:5])
+        marginals = crf.predict_marginals(sequences[:5])
+        for path, marginal in zip(viterbi, marginals):
+            marginal_path = crf.classes_[np.argmax(marginal, axis=1)]
+            agreement = (path == marginal_path).mean()
+            assert agreement > 0.9
+
+
+class TestGradient:
+    def test_finite_difference_gradient_check(self):
+        """The analytic NLL gradient must match finite differences."""
+        rng = np.random.default_rng(0)
+        sequences = [rng.normal(size=(4, 2)), rng.normal(size=(3, 2))]
+        labels = [np.array([0, 1, 1, 0]), np.array([1, 0, 1])]
+        crf = LinearChainCRF(l2=0.0)
+        crf.classes_ = np.array([0, 1])
+        k, d = 2, 2
+        X, mask, y = _pad_sequences(
+            [s.astype(float) for s in sequences], labels
+        )
+        lengths = mask.sum(axis=1)
+        theta = rng.normal(scale=0.3, size=k * d + k + k + k * k)
+
+        def nll_of(params):
+            W, b, start, trans = crf._unpack(params, k, d)
+            return crf._nll_and_grads(
+                X, mask, y, lengths, W, b, start, trans
+            )[0]
+
+        W, b, start, trans = crf._unpack(theta, k, d)
+        _, grads = crf._nll_and_grads(X, mask, y, lengths, W, b, start, trans)
+        analytic = np.concatenate(
+            [grads[0].ravel(), grads[1], grads[2], grads[3].ravel()]
+        )
+        numeric = np.zeros_like(theta)
+        eps = 1e-6
+        for i in range(len(theta)):
+            up = theta.copy(); up[i] += eps
+            down = theta.copy(); down[i] -= eps
+            numeric[i] = (nll_of(up) - nll_of(down)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)

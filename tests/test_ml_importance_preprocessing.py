@@ -1,0 +1,92 @@
+"""Tests for permutation importance and feature preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.importance import normalize_importances, permutation_importance
+from repro.ml.preprocessing import LogarithmicBinner, MinMaxScaler
+
+
+class TestPermutationImportance:
+    def test_signal_feature_outranks_noise(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        model = RandomForestClassifier(
+            n_estimators=15, random_state=0
+        ).fit(X, y)
+        importances = permutation_importance(
+            model, X, y, n_repeats=3, random_state=0
+        )
+        assert np.argmax(importances) == 2
+        assert importances[2] > 0.2
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            permutation_importance(None, np.zeros((2, 2)),
+                                   np.zeros(2), n_repeats=0)
+
+    def test_normalize_clips_and_sums_to_one(self):
+        shares = normalize_importances(np.array([0.5, -0.2, 0.5]))
+        assert shares.tolist() == [0.5, 0.0, 0.5]
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_normalize_all_zero_is_uniform(self):
+        shares = normalize_importances(np.zeros(4))
+        assert np.allclose(shares, 0.25)
+
+
+class TestMinMaxScaler:
+    def test_scales_to_unit_interval(self):
+        X = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == 0.0
+        assert scaled.max() == 1.0
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.array([[1.0], [1.0]])
+        assert MinMaxScaler().fit_transform(X).tolist() == [[0.0], [0.0]]
+
+    def test_transform_clips_out_of_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[-5.0], [50.0]]))
+        assert out.tolist() == [[0.0], [1.0]]
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((1, 1)))
+
+
+class TestLogarithmicBinner:
+    def test_bucket_boundaries_double(self):
+        binner = LogarithmicBinner(n_bins=5, scale=1.0)
+        values = np.array([0.0, 1.0, 3.0, 7.0, 15.0, 1000.0])
+        # floor(log2(1+v)): 0, 1, 2, 3, 4, capped at 4.
+        assert binner.transform(values).tolist() == [0, 1, 2, 3, 4, 4]
+
+    def test_negatives_clamp_to_zero(self):
+        binner = LogarithmicBinner(n_bins=3)
+        assert binner.transform(np.array([-10.0])).tolist() == [0]
+
+    def test_one_hot_shape_and_content(self):
+        binner = LogarithmicBinner(n_bins=4)
+        X = np.array([[0.0, 7.0], [1.0, 0.0]])
+        encoded = binner.one_hot(X)
+        assert encoded.shape == (2, 8)
+        assert encoded.sum(axis=1).tolist() == [2.0, 2.0]
+        assert encoded[0, 0] == 1.0  # value 0 -> bucket 0 of feature 0
+        assert encoded[0, 4 + 3] == 1.0  # value 7 -> bucket 3 of feature 1
+
+    def test_one_hot_accepts_vector(self):
+        binner = LogarithmicBinner(n_bins=4)
+        assert binner.one_hot(np.array([1.0, 3.0])).shape == (2, 4)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LogarithmicBinner(n_bins=1)
+        with pytest.raises(InvalidParameterError):
+            LogarithmicBinner(scale=0.0)

@@ -1,0 +1,125 @@
+"""Tests for classification metrics (:mod:`repro.ml.metrics`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_per_class,
+    macro_f1,
+    support_per_class,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2], [1, 2]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_empty(self):
+        assert accuracy_score([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+
+class TestF1:
+    def test_perfect_f1(self):
+        scores = f1_per_class(["a", "b"], ["a", "b"])
+        assert scores == {"a": 1.0, "b": 1.0}
+
+    def test_known_value(self):
+        # class "a": tp=1, fp=1, fn=1 -> F1 = 2/4 = 0.5
+        y_true = ["a", "a", "b"]
+        y_pred = ["a", "b", "a"]
+        scores = f1_per_class(y_true, y_pred)
+        assert scores["a"] == pytest.approx(0.5)
+
+    def test_absent_class_scores_zero(self):
+        scores = f1_per_class(["a"], ["a"], labels=["a", "b"])
+        assert scores["b"] == 0.0
+
+    def test_macro_is_unweighted_mean(self):
+        y_true = ["a"] * 99 + ["b"]
+        y_pred = ["a"] * 99 + ["a"]
+        # class a: F1 ~ 0.995; class b: 0 -> macro ~ 0.497, far from
+        # the support-weighted value (~0.985).
+        macro = macro_f1(y_true, y_pred, labels=["a", "b"])
+        assert macro == pytest.approx(
+            (f1_per_class(y_true, y_pred)["a"] + 0.0) / 2
+        )
+
+    def test_macro_empty_labels(self):
+        assert macro_f1([], [], labels=[]) == 0.0
+
+
+class TestConfusion:
+    def test_counts(self):
+        matrix = confusion_matrix(
+            ["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"]
+        )
+        assert matrix.tolist() == [[1.0, 1.0], [0.0, 1.0]]
+
+    def test_normalized_rows_sum_to_one(self):
+        matrix = confusion_matrix(
+            ["a", "a", "b", "b", "b"],
+            ["a", "b", "b", "b", "a"],
+            labels=["a", "b"],
+            normalize=True,
+        )
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_absent_class_row_stays_zero(self):
+        matrix = confusion_matrix(
+            ["a"], ["a"], labels=["a", "b"], normalize=True
+        )
+        assert matrix[1].sum() == 0.0
+
+    def test_unknown_labels_ignored(self):
+        matrix = confusion_matrix(["a", "z"], ["a", "z"], labels=["a"])
+        assert matrix.tolist() == [[1.0]]
+
+
+class TestSupport:
+    def test_counts(self):
+        support = support_per_class(["a", "a", "b"], labels=["a", "b", "c"])
+        assert support == {"a": 2, "b": 1, "c": 0}
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+_LABELS = st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=30)
+
+
+@given(y_true=_LABELS)
+@settings(max_examples=60, deadline=None)
+def test_self_prediction_is_perfect(y_true):
+    assert accuracy_score(y_true, y_true) == 1.0
+    assert macro_f1(y_true, y_true, labels=sorted(set(y_true))) == 1.0
+
+
+@given(y_true=_LABELS, seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_f1_bounded(y_true, seed):
+    rng = np.random.default_rng(seed)
+    y_pred = [str(v) for v in rng.choice(["x", "y", "z"], len(y_true))]
+    for score in f1_per_class(y_true, y_pred).values():
+        assert 0.0 <= score <= 1.0
+
+
+@given(y_true=_LABELS, seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_confusion_total_equals_sample_count(y_true, seed):
+    rng = np.random.default_rng(seed)
+    y_pred = [str(v) for v in rng.choice(["x", "y", "z"], len(y_true))]
+    matrix = confusion_matrix(y_true, y_pred, labels=["x", "y", "z"])
+    assert matrix.sum() == len(y_true)

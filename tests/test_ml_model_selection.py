@@ -1,0 +1,106 @@
+"""Tests for grouped/repeated cross-validation splitters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.ml.model_selection import (
+    GroupKFold,
+    RepeatedGroupKFold,
+    train_test_group_split,
+)
+
+
+class TestGroupKFold:
+    def test_folds_partition_groups(self):
+        groups = [f"g{i}" for i in range(10)]
+        seen_test = set()
+        for train, test in GroupKFold(n_splits=5, random_state=0).split(
+            groups
+        ):
+            assert train.isdisjoint(test)
+            assert train | test == set(groups)
+            seen_test |= test
+        assert seen_test == set(groups)
+
+    def test_duplicate_group_entries_handled(self):
+        groups = ["a", "a", "b", "b", "c", "d"]
+        folds = list(GroupKFold(n_splits=2, random_state=0).split(groups))
+        assert len(folds) == 2
+
+    def test_too_few_groups_raises(self):
+        with pytest.raises(InvalidParameterError):
+            list(GroupKFold(n_splits=5).split(["a", "b"]))
+
+    def test_seed_determinism(self):
+        groups = [f"g{i}" for i in range(9)]
+        a = list(GroupKFold(n_splits=3, random_state=1).split(groups))
+        b = list(GroupKFold(n_splits=3, random_state=1).split(groups))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GroupKFold(n_splits=1)
+
+
+class TestRepeatedGroupKFold:
+    def test_yields_repeat_indices(self):
+        groups = [f"g{i}" for i in range(6)]
+        splitter = RepeatedGroupKFold(
+            n_splits=3, n_repeats=2, random_state=0
+        )
+        repetitions = [rep for rep, _, _ in splitter.split(groups)]
+        assert repetitions == [0, 0, 0, 1, 1, 1]
+
+    def test_repetitions_differ(self):
+        groups = [f"g{i}" for i in range(12)]
+        splitter = RepeatedGroupKFold(
+            n_splits=3, n_repeats=2, random_state=0
+        )
+        folds = list(splitter.split(groups))
+        first = [test for rep, _, test in folds if rep == 0]
+        second = [test for rep, _, test in folds if rep == 1]
+        assert first != second
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RepeatedGroupKFold(n_repeats=0)
+
+
+class TestTrainTestSplit:
+    def test_split_is_partition(self):
+        groups = [f"g{i}" for i in range(10)]
+        train, test = train_test_group_split(groups, 0.3, random_state=0)
+        assert train.isdisjoint(test)
+        assert train | test == set(groups)
+        assert len(test) == 3
+
+    def test_always_leaves_training_groups(self):
+        train, test = train_test_group_split(["a", "b"], 0.9, random_state=0)
+        assert len(train) >= 1
+        assert len(test) >= 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            train_test_group_split(["a", "b"], 0.0)
+        with pytest.raises(InvalidParameterError):
+            train_test_group_split(["a"], 0.5)
+
+
+@given(
+    n_groups=st.integers(4, 30),
+    n_splits=st.integers(2, 4),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_group_tested_exactly_once(n_groups, n_splits, seed):
+    groups = [f"g{i}" for i in range(n_groups)]
+    tested: list[str] = []
+    for _, test in GroupKFold(n_splits=n_splits, random_state=seed).split(
+        groups
+    ):
+        tested.extend(test)
+    assert sorted(tested) == sorted(groups)

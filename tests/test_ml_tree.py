@@ -1,0 +1,163 @@
+"""Tests for the CART decision tree (:mod:`repro.ml.tree`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestFitting:
+    def test_fits_linearly_separable_perfectly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_fits_xor(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.98
+
+    def test_multiclass(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = np.array([0, 0, 1, 1, 2, 2])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_non_contiguous_class_labels(self):
+        X = np.array([[0.0], [1.0], [5.0], [6.0]])
+        y = np.array([3, 3, 9, 9])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) == {3, 9}
+
+    def test_single_class_gives_single_leaf(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_constant_features_give_leaf(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+
+
+class TestConstraints:
+    def test_max_depth_respected(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = _xor_data(n=64)
+        tree = DecisionTreeClassifier(min_samples_leaf=8,
+                                      random_state=0).fit(X, y)
+        # Every leaf must have gathered at least 8 samples: with 64
+        # samples there can be at most 8 leaves.
+        leaves = sum(1 for f in tree._feature if f == -1)
+        assert leaves <= 8
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier(max_features=0).fit(
+                np.zeros((2, 2)), np.array([0, 1])
+            )
+
+    def test_sample_weights_zero_removes_samples(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        # Zero out the class-1 samples; tree must predict all-0.
+        weights = np.array([1.0, 1.0, 0.0, 0.0])
+        tree = DecisionTreeClassifier().fit(X, y, sample_weight=weights)
+        assert np.array_equal(tree.predict(X), np.zeros(4, dtype=int))
+
+    def test_sample_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                np.zeros((3, 1)), np.array([0, 1, 0]),
+                sample_weight=np.ones(2),
+            )
+
+
+class TestPrediction:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_count_mismatch_raises(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 3)))
+
+    def test_determinism_under_seed(self):
+        X, y = _xor_data()
+        a = DecisionTreeClassifier(max_features=1, random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_training_accuracy_beats_majority_class(seed):
+    """On random labelled data an unconstrained tree must fit training
+    data at least as well as the majority-class baseline."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(50, 3))
+    y = rng.integers(0, 3, size=50)
+    tree = DecisionTreeClassifier(random_state=seed).fit(X, y)
+    accuracy = (tree.predict(X) == y).mean()
+    majority = max(np.bincount(y)) / len(y)
+    assert accuracy >= majority
+
+
+class TestFeatureImportances:
+    def test_single_informative_feature(self):
+        X = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        importances = tree.feature_importances_
+        assert importances[0] == pytest.approx(1.0)
+        assert importances[1] == 0.0
+
+    def test_pure_leaf_tree_importance_is_zero_vector(self):
+        X = np.array([[1.0], [2.0]])
+        y = np.array([1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_.sum() == 0.0
+
+    def test_importances_sum_to_one(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().feature_importances_

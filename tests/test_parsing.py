@@ -1,0 +1,117 @@
+"""Tests for the dialect-aware CSV tokenizer (:mod:`repro.parsing`)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialect.dialect import Dialect
+from repro.io.writer import write_csv_text
+from repro.parsing import parse_csv_text, split_record
+
+STANDARD = Dialect.standard()
+
+
+class TestBasicParsing:
+    def test_simple_records(self):
+        assert parse_csv_text("a,b\nc,d\n", STANDARD) == [
+            ["a", "b"], ["c", "d"],
+        ]
+
+    def test_no_trailing_newline(self):
+        assert parse_csv_text("a,b", STANDARD) == [["a", "b"]]
+
+    def test_trailing_newline_no_phantom_record(self):
+        assert parse_csv_text("a\n", STANDARD) == [["a"]]
+
+    def test_crlf_and_bare_cr(self):
+        assert parse_csv_text("a\r\nb\rc\n", STANDARD) == [
+            ["a"], ["b"], ["c"],
+        ]
+
+    def test_empty_fields(self):
+        assert parse_csv_text(",,\n", STANDARD) == [["", "", ""]]
+
+    def test_empty_text(self):
+        assert parse_csv_text("", STANDARD) == []
+
+    def test_semicolon_dialect(self):
+        dialect = Dialect(delimiter=";")
+        assert parse_csv_text("a;b,c\n", dialect) == [["a", "b,c"]]
+
+    def test_tab_dialect(self):
+        dialect = Dialect(delimiter="\t")
+        assert parse_csv_text("a\tb\n", dialect) == [["a", "b"]]
+
+
+class TestQuoting:
+    def test_quoted_delimiter(self):
+        assert parse_csv_text('"a,b",c\n', STANDARD) == [["a,b", "c"]]
+
+    def test_quoted_newline(self):
+        assert parse_csv_text('"a\nb",c\n', STANDARD) == [["a\nb", "c"]]
+
+    def test_doubled_quote(self):
+        assert parse_csv_text('"say ""hi""",x\n', STANDARD) == [
+            ['say "hi"', "x"],
+        ]
+
+    def test_quote_mid_field_is_literal(self):
+        # A quote that does not open the field is kept verbatim.
+        assert parse_csv_text('ab"c,d\n', STANDARD) == [['ab"c', "d"]]
+
+    def test_unterminated_quote_is_lenient(self):
+        # Wrong-dialect parses must not raise: the rest of the text
+        # becomes part of the open field.
+        rows = parse_csv_text('"abc,def\n', STANDARD)
+        assert rows == [["abc,def\n"]]
+
+    def test_no_quote_dialect(self):
+        dialect = Dialect(delimiter=",", quotechar="")
+        assert parse_csv_text('"a",b\n', dialect) == [['"a"', "b"]]
+
+
+class TestEscaping:
+    def test_escaped_delimiter(self):
+        dialect = Dialect(delimiter=",", quotechar='"', escapechar="\\")
+        assert parse_csv_text("a\\,b,c\n", dialect) == [["a,b", "c"]]
+
+    def test_escaped_quote_inside_quotes(self):
+        dialect = Dialect(delimiter=",", quotechar='"', escapechar="\\")
+        assert parse_csv_text('"a\\"b"\n', dialect) == [['a"b']]
+
+
+class TestSplitRecord:
+    def test_single_line(self):
+        assert split_record("a,b,c", STANDARD) == ["a", "b", "c"]
+
+    def test_empty_line(self):
+        assert split_record("", STANDARD) == [""]
+
+
+# ----------------------------------------------------------------------
+# Property: writer -> parser round trip
+# ----------------------------------------------------------------------
+_FIELD = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12
+)
+_ROWS = st.lists(
+    st.lists(_FIELD, min_size=1, max_size=5), min_size=1, max_size=6
+)
+
+
+@given(rows=_ROWS)
+@settings(max_examples=150, deadline=None)
+def test_write_parse_round_trip(rows):
+    """Any table serialized with quoting parses back identically."""
+    text = write_csv_text(rows, STANDARD)
+    parsed = parse_csv_text(text, STANDARD)
+    assert parsed == rows
+
+
+@given(rows=_ROWS)
+@settings(max_examples=100, deadline=None)
+def test_round_trip_semicolon_dialect(rows):
+    dialect = Dialect(delimiter=";", quotechar="'")
+    text = write_csv_text(rows, dialect)
+    assert parse_csv_text(text, dialect) == rows

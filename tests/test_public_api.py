@@ -1,0 +1,79 @@
+"""Tests for the top-level public API and the paper-value tables."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.eval import paper_values
+
+_CLASS_NAMES = (
+    "metadata", "header", "group", "data", "derived", "notes",
+)
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_quickstart_names_exist(self):
+        # The names used in the module docstring's example must exist.
+        assert hasattr(repro, "StrudelPipeline")
+        assert hasattr(repro, "make_corpus")
+
+    def test_convenience_flow(self):
+        table = repro.read_table_text("a;1\nb;2\nc;3\n")
+        assert table.shape == (3, 2)
+        dialect = repro.detect_dialect("x|1\ny|2\nz|3\n")
+        assert dialect.delimiter == "|"
+
+
+class TestPaperValues:
+    """Internal consistency of the transcribed paper numbers."""
+
+    def test_table6_line_rows_complete(self):
+        for dataset, algorithms in paper_values.TABLE6_LINE.items():
+            assert set(algorithms) == {"CRF-L", "Pytheas-L", "Strudel-L"}
+            for name, row in algorithms.items():
+                for class_name in _CLASS_NAMES:
+                    assert class_name in row
+                if name == "Pytheas-L":
+                    assert row["derived"] is None
+                else:
+                    assert 0.0 <= row["derived"] <= 1.0
+
+    def test_table6_cell_rows_complete(self):
+        for dataset, algorithms in paper_values.TABLE6_CELL.items():
+            assert set(algorithms) == {"Line-C", "RNN-C", "Strudel-C"}
+
+    def test_strudel_wins_macro_in_paper(self):
+        """Sanity: the transcription preserves the paper's headline
+        result — Strudel leads every macro-average column."""
+        for dataset, algorithms in paper_values.TABLE6_LINE.items():
+            strudel = algorithms["Strudel-L"]["macro_avg"]
+            for name, row in algorithms.items():
+                assert strudel >= row["macro_avg"], (dataset, name)
+        for dataset, algorithms in paper_values.TABLE6_CELL.items():
+            strudel = algorithms["Strudel-C"]["macro_avg"]
+            for name, row in algorithms.items():
+                assert strudel >= row["macro_avg"], (dataset, name)
+
+    def test_table4_sizes_positive(self):
+        for name, (files, lines, cells) in (
+            paper_values.TABLE4_DATASETS.items()
+        ):
+            assert files > 0 and lines > 0 and cells > lines
+
+    def test_table5_matches_class_names(self):
+        assert set(paper_values.TABLE5_CLASSES) == set(_CLASS_NAMES)
+
+    def test_diversity_rows_sum_to_about_100(self):
+        for dataset, shares in paper_values.TABLE3_DIVERSITY.items():
+            assert sum(shares.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_troy_derived_collapse_recorded(self):
+        assert paper_values.TABLE7_TROY["Strudel-L"]["derived"] == 0.070

@@ -1,0 +1,160 @@
+"""Tests for the core data model (:mod:`repro.types`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.types import (
+    CLASS_TO_INDEX,
+    CONTENT_CLASSES,
+    INDEX_TO_CLASS,
+    AnnotatedFile,
+    Cell,
+    CellClass,
+    Corpus,
+    Table,
+)
+
+
+class TestTable:
+    def test_rows_padded_to_common_width(self):
+        table = Table([["a"], ["b", "c", "d"], []])
+        assert table.shape == (3, 3)
+        assert table.row(0) == ["a", "", ""]
+        assert table.row(2) == ["", "", ""]
+
+    def test_empty_input_yields_zero_rows(self):
+        table = Table([])
+        assert table.shape == (0, 0)
+        assert table.count_non_empty_cells() == 0
+
+    def test_cell_access(self):
+        table = Table([["a", "b"], ["c", "d"]])
+        assert table.cell(1, 0) == "c"
+        with pytest.raises(IndexError):
+            table.cell(-1, 0)
+        with pytest.raises(IndexError):
+            table.cell(0, 5)
+
+    def test_column_access(self):
+        table = Table([["a", "b"], ["c", "d"]])
+        assert table.column(1) == ["b", "d"]
+        with pytest.raises(IndexError):
+            table.column(2)
+
+    def test_whitespace_counts_as_empty(self):
+        table = Table([["  ", "\t", "x"]])
+        assert table.is_empty_cell(0, 0)
+        assert table.is_empty_cell(0, 1)
+        assert not table.is_empty_cell(0, 2)
+        assert table.count_non_empty_cells() == 1
+
+    def test_empty_row_and_column(self):
+        table = Table([["", "x"], ["", "y"]])
+        assert table.is_empty_column(0)
+        assert not table.is_empty_column(1)
+        assert not table.is_empty_row(0)
+
+    def test_non_empty_cells_row_major(self):
+        table = Table([["a", ""], ["", "b"]])
+        cells = list(table.non_empty_cells())
+        assert cells == [Cell(0, 0, "a"), Cell(1, 1, "b")]
+
+    def test_count_non_empty_rows(self):
+        table = Table([["a"], [""], ["b"]])
+        assert table.count_non_empty_rows() == 2
+
+    def test_equality_and_hash(self):
+        a = Table([["x", "y"]])
+        b = Table([["x", "y"]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Table([["x", "z"]])
+
+    def test_row_copies_are_independent(self):
+        table = Table([["a", "b"]])
+        row = table.row(0)
+        row[0] = "mutated"
+        assert table.cell(0, 0) == "a"
+
+
+class TestCell:
+    def test_is_empty(self):
+        assert Cell(0, 0, "  ").is_empty
+        assert not Cell(0, 0, "x").is_empty
+
+
+class TestClassEncoding:
+    def test_six_content_classes(self):
+        assert len(CONTENT_CLASSES) == 6
+        assert CellClass.EMPTY not in CONTENT_CLASSES
+
+    def test_round_trip(self):
+        for klass, index in CLASS_TO_INDEX.items():
+            assert INDEX_TO_CLASS[index] is klass
+
+    def test_canonical_order(self):
+        assert [c.value for c in CONTENT_CLASSES] == [
+            "metadata", "header", "group", "data", "derived", "notes",
+        ]
+
+
+class TestAnnotatedFile:
+    def test_validation_rejects_wrong_line_label_count(self):
+        table = Table([["a"], ["b"]])
+        with pytest.raises(AnnotationError):
+            AnnotatedFile(
+                name="bad",
+                table=table,
+                line_labels=[CellClass.DATA],
+                cell_labels=[[CellClass.DATA], [CellClass.DATA]],
+            )
+
+    def test_validation_rejects_ragged_cell_labels(self):
+        table = Table([["a", "b"]])
+        with pytest.raises(AnnotationError):
+            AnnotatedFile(
+                name="bad",
+                table=table,
+                line_labels=[CellClass.DATA],
+                cell_labels=[[CellClass.DATA]],
+            )
+
+    def test_non_empty_line_indices(self, verbose_file):
+        assert verbose_file.non_empty_line_indices() == [0, 2, 3, 4, 5, 7]
+
+    def test_non_empty_line_labels(self, verbose_file):
+        labels = verbose_file.non_empty_line_labels()
+        assert labels[0] is CellClass.METADATA
+        assert labels[-1] is CellClass.NOTES
+
+    def test_non_empty_cell_items_cover_all_content(self, verbose_file):
+        items = verbose_file.non_empty_cell_items()
+        assert len(items) == verbose_file.table.count_non_empty_cells()
+        assert all(label is not CellClass.EMPTY for _, _, label in items)
+
+    def test_diversity_degree(self, verbose_file):
+        assert verbose_file.line_diversity_degree(0) == 1  # metadata only
+        assert verbose_file.line_diversity_degree(1) == 0  # empty line
+        assert verbose_file.line_diversity_degree(5) == 2  # group+derived
+
+
+class TestCorpus:
+    def test_len_and_iter(self, verbose_file):
+        corpus = Corpus(name="c", files=[verbose_file])
+        assert len(corpus) == 1
+        assert list(corpus) == [verbose_file]
+
+    def test_totals(self, verbose_file):
+        corpus = Corpus(name="c", files=[verbose_file, verbose_file])
+        assert corpus.total_lines() == 12
+        assert corpus.total_cells() == 2 * verbose_file.table.count_non_empty_cells()
+
+    def test_merged_with(self, verbose_file):
+        a = Corpus(name="a", files=[verbose_file])
+        b = Corpus(name="b", files=[verbose_file])
+        merged = a.merged_with(b, name="ab")
+        assert merged.name == "ab"
+        assert len(merged) == 2
+        assert len(a) == 1  # original untouched

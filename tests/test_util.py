@@ -1,0 +1,139 @@
+"""Tests for shared utilities (:mod:`repro.util`)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import as_generator, spawn
+from repro.util.stats import (
+    bhattacharyya_distance,
+    discounted_cumulative_gain,
+    histogram,
+    min_max_normalize,
+)
+from repro.util.text import (
+    count_words,
+    is_alphanumeric_word,
+    tokenize_words,
+)
+
+
+class TestText:
+    def test_tokenize(self):
+        assert tokenize_words("Total (2019): 1,234") == [
+            "Total", "2019", "1", "234",
+        ]
+
+    def test_count_words(self):
+        assert count_words("one two-three") == 3
+        assert count_words("") == 0
+
+    def test_is_alphanumeric_word(self):
+        assert is_alphanumeric_word("abc123")
+        assert not is_alphanumeric_word("a b")
+        assert not is_alphanumeric_word("")
+
+
+class TestDCG:
+    def test_empty_vector(self):
+        assert discounted_cumulative_gain([]) == 0.0
+
+    def test_all_ones_is_one(self):
+        assert discounted_cumulative_gain([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_all_zeros_is_zero(self):
+        assert discounted_cumulative_gain([0, 0, 0]) == 0.0
+
+    def test_left_heavier_than_right(self):
+        left = discounted_cumulative_gain([1, 0, 0])
+        right = discounted_cumulative_gain([0, 0, 1])
+        assert left > right
+
+    @given(st.lists(st.sampled_from([0.0, 1.0]), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_in_unit_interval(self, vector):
+        value = discounted_cumulative_gain(vector)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestBhattacharyya:
+    def test_identical_histograms_distance_zero(self):
+        assert bhattacharyya_distance([1, 2, 3], [2, 4, 6]) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_disjoint_histograms_distance_one(self):
+        assert bhattacharyya_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_both_empty_is_zero(self):
+        assert bhattacharyya_distance([0, 0], [0, 0]) == 0.0
+
+    def test_one_empty_is_one(self):
+        assert bhattacharyya_distance([0, 0], [1, 0]) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bhattacharyya_distance([1], [1, 2])
+
+    @given(
+        st.lists(st.floats(0, 100), min_size=3, max_size=3),
+        st.lists(st.floats(0, 100), min_size=3, max_size=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_symmetric(self, p, q):
+        d_pq = bhattacharyya_distance(p, q)
+        d_qp = bhattacharyya_distance(q, p)
+        assert 0.0 <= d_pq <= 1.0
+        assert d_pq == pytest.approx(d_qp, abs=1e-9)
+
+
+class TestMinMax:
+    def test_normalizes_to_unit_interval(self):
+        assert min_max_normalize([2, 4, 6]) == [0.0, 0.5, 1.0]
+
+    def test_constant_values_map_to_zero(self):
+        assert min_max_normalize([3, 3]) == [0.0, 0.0]
+
+    def test_empty(self):
+        assert min_max_normalize([]) == []
+
+
+class TestHistogram:
+    def test_counts_land_in_buckets(self):
+        counts = histogram([0.5, 1.5, 9.9], bins=10, low=0, high=10)
+        assert counts[0] == 1 and counts[1] == 1 and counts[9] == 1
+        assert sum(counts) == 3
+
+    def test_out_of_range_clamped(self):
+        counts = histogram([-5, 50], bins=4, low=0, high=10)
+        assert counts[0] == 1 and counts[3] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([], bins=0, low=0, high=1)
+        with pytest.raises(ValueError):
+            histogram([], bins=3, low=1, high=1)
+
+
+class TestRng:
+    def test_seed_determinism(self):
+        a = as_generator(7).integers(0, 1000, 5)
+        b = as_generator(7).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_spawn_children_are_independent_and_deterministic(self):
+        children_a = spawn(as_generator(3), 4)
+        children_b = spawn(as_generator(3), 4)
+        draws_a = [c.integers(0, 10**6) for c in children_a]
+        draws_b = [c.integers(0, 10**6) for c in children_b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) > 1
