@@ -1,0 +1,35 @@
+"""Static-analysis gate for the repro codebase (``repro lint``).
+
+A pure-stdlib (:mod:`ast`-based) invariant linter.  The test suite can
+only see behaviour; these rules see *conventions* that behaviour tests
+cannot enforce:
+
+* every random draw threads an explicit seed (R001),
+* the package layering stays a DAG (R002),
+* feature functions keep their numeric contract (R003),
+* nothing iterates an unordered source into training data (R004),
+* no mutable default arguments (R005).
+
+``repro lint src/repro`` runs all rules and exits non-zero on any
+finding; ``tests/test_lint_clean.py`` makes the clean state a tier-1
+gate.  Individual findings can be waived in place with a
+``# repro: noqa[RULE-ID]`` comment on the offending line.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import ModuleInfo, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,32 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Call nodes in the chain break it (``f().g`` is not a static
+    dotted name), which is exactly the conservatism the rules want.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_none_constant(node: ast.AST) -> bool:
+    """True for a literal ``None``."""
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, if statically resolvable."""
+    return dotted_name(node.func)

@@ -1,0 +1,37 @@
+"""The unit of linter output: one rule violation at one location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Ordered by location first so that reports read top-to-bottom per
+    file regardless of which rule produced each finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: RULE message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,129 @@
+"""The declared package-dependency DAG enforced by rule R002.
+
+Nodes are the top-level sub-packages of ``repro`` (plus the loose
+top-level modules, grouped where they form one conceptual layer).
+``ALLOWED_DEPENDENCIES`` lists, for every node, the set of *other*
+nodes it may import from; imports within a node are always allowed.
+
+Two deliberate groupings keep the declaration acyclic without lying
+about the code:
+
+* ``repro.parsing`` is grouped with ``repro.dialect`` — the tokenizer
+  and the dialect model are mutually recursive by design (see
+  ``docs/architecture.md``, "the one deliberate wrinkle").
+* ``repro.cli`` / ``repro.__main__`` / the ``repro`` package root form
+  the ``app`` node: the composition root that is allowed to import
+  everything and wires cross-layer defaults (e.g. registering the
+  random forest as the default Strudel classifier so that ``core``
+  never imports ``ml``).
+
+The declaration itself is validated: :func:`check_declared_dag`
+raises if the allowed-dependency relation has a cycle, and a unit
+test pins that.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Longest-prefix map from module prefix to layering node.
+NODE_BY_PREFIX: dict[str, str] = {
+    "repro.util": "util",
+    "repro.errors": "errors",
+    "repro.types": "types",
+    "repro.parsing": "dialect",
+    "repro.dialect": "dialect",
+    "repro.io": "io",
+    "repro.core": "core",
+    "repro.ml": "ml",
+    "repro.baselines": "baselines",
+    "repro.datagen": "datagen",
+    "repro.eval": "eval",
+    "repro.analysis": "analysis",
+    "repro.cli": "app",
+    "repro.__main__": "app",
+    "repro": "app",
+}
+
+#: node -> nodes it may import from (besides itself).
+ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
+    "util": frozenset(),
+    "errors": frozenset(),
+    "types": frozenset({"errors"}),
+    "dialect": frozenset({"errors", "types", "util"}),
+    "io": frozenset({"dialect", "errors", "types", "util"}),
+    "core": frozenset({"dialect", "errors", "io", "types", "util"}),
+    "ml": frozenset(
+        {"core", "dialect", "errors", "io", "types", "util"}
+    ),
+    "baselines": frozenset(
+        {"core", "dialect", "errors", "io", "ml", "types", "util"}
+    ),
+    "datagen": frozenset(
+        {"dialect", "errors", "io", "types", "util"}
+    ),
+    "eval": frozenset(
+        {
+            "baselines", "core", "datagen", "dialect", "errors", "io",
+            "ml", "types", "util",
+        }
+    ),
+    "analysis": frozenset({"errors", "util"}),
+    "app": frozenset(
+        {
+            "analysis", "baselines", "core", "datagen", "dialect",
+            "errors", "eval", "io", "ml", "types", "util",
+        }
+    ),
+}
+
+
+def node_for_module(module: str) -> str | None:
+    """Longest-prefix lookup of the layering node for a dotted module.
+
+    Returns ``None`` for modules outside the declared universe (third
+    party, stdlib, or fixture code not under ``repro``).
+    """
+    parts = module.split(".")
+    for end in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:end])
+        if prefix in NODE_BY_PREFIX:
+            return NODE_BY_PREFIX[prefix]
+    return None
+
+
+def check_declared_dag(
+    allowed: dict[str, frozenset[str]] | None = None,
+) -> list[str]:
+    """Topologically sort the declared graph; raise on any cycle.
+
+    Returns one valid bottom-up ordering of the nodes, which the docs
+    generator uses to render the layering table.
+    """
+    graph = dict(ALLOWED_DEPENDENCIES if allowed is None else allowed)
+    for node, deps in graph.items():
+        unknown = deps - graph.keys()
+        if unknown:
+            raise ConfigurationError(
+                f"layer {node!r} depends on undeclared {sorted(unknown)}"
+            )
+    order: list[str] = []
+    placed: set[str] = set()
+    remaining = set(graph)
+    while remaining:
+        ready = sorted(
+            node for node in remaining if graph[node] <= placed
+        )
+        if not ready:
+            raise ConfigurationError(
+                f"dependency cycle among layers {sorted(remaining)}"
+            )
+        order.extend(ready)
+        placed.update(ready)
+        remaining.difference_update(ready)
+    return order
+
+
+# Fail fast: an inconsistent declaration should break at import, not
+# silently let R002 pass vacuously.
+check_declared_dag()

@@ -1,0 +1,93 @@
+"""Rule registry: declare a rule once, run it everywhere.
+
+A rule is a class with a ``rule_id``, a one-line ``title``, a
+``rationale`` paragraph (surfaced by ``repro lint --explain``-style
+tooling and the docs), and a ``check`` generator over one parsed
+module.  Registration is a decorator so adding a rule is a single new
+module under :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, ClassVar, Iterator, Type
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.findings import Finding
+    from repro.analysis.runner import ModuleInfo
+
+_RULE_ID_PATTERN = re.compile(r"^R\d{3}$")
+
+#: All registered rules, keyed by id.  Populated by :func:`register`.
+_RULES: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    the runner instantiates each rule once per lint invocation and
+    feeds it every module in turn, so rules may keep cross-module
+    state (R002 does not need it, but e.g. a future duplicate-symbol
+    rule would).
+    """
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check(self, module: "ModuleInfo") -> Iterator["Finding"]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: "ModuleInfo", line: int, col: int, message: str
+    ) -> "Finding":
+        """Convenience constructor stamping this rule's id."""
+        from repro.analysis.findings import Finding
+
+        return Finding(
+            path=str(module.path),
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_PATTERN.match(cls.rule_id):
+        raise ConfigurationError(
+            f"rule id {cls.rule_id!r} does not match R###"
+        )
+    if cls.rule_id in _RULES and _RULES[cls.rule_id] is not cls:
+        raise ConfigurationError(
+            f"rule id {cls.rule_id} registered twice"
+        )
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one rule by id (raises on unknown ids)."""
+    _load_builtin_rules()
+    if rule_id not in _RULES:
+        known = ", ".join(sorted(_RULES))
+        raise ConfigurationError(
+            f"unknown rule {rule_id!r} (known: {known})"
+        )
+    return _RULES[rule_id]()
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (idempotent)."""
+    from repro.analysis import rules  # noqa: F401 - import registers

@@ -1,0 +1,34 @@
+"""Render findings for terminals (text) and tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    if not findings:
+        return "repro lint: no findings"
+    lines = [finding.render() for finding in findings]
+    by_rule = Counter(finding.rule_id for finding in findings)
+    summary = ", ".join(
+        f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+    )
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"repro lint: {len(findings)} {noun} ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable machine-readable report for CI annotation tooling."""
+    by_rule = Counter(finding.rule_id for finding in findings)
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

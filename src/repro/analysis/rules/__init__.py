@@ -1,0 +1,9 @@
+"""Built-in rules.  Importing this package registers all of them."""
+
+from repro.analysis.rules import (  # noqa: F401 - imports register rules
+    contracts,
+    defaults,
+    iteration,
+    layers,
+    rng,
+)

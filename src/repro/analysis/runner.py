@@ -1,0 +1,153 @@
+"""Walk files, parse once, run every rule, filter suppressions."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule
+from repro.analysis.suppressions import collect_suppressions, is_suppressed
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs about one source module, parsed once."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    _parents: dict[int, ast.AST] | None = None
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (lazily built, cached)."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[id(child)] = outer
+            self._parents = parents
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Parents of ``node`` from innermost outward."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+
+def module_name_for_path(path: Path) -> str:
+    """Dotted module name, rooted at the last ``repro`` path part.
+
+    ``src/repro/core/strudel.py`` -> ``repro.core.strudel``.  Files
+    outside any ``repro`` tree (ad-hoc fixtures) get their bare stem,
+    which keeps path-scoped rules (R002, R003) inert on them unless
+    the fixture deliberately mimics the package layout.
+    """
+    parts = list(path.parts)
+    parts[-1] = path.stem
+    anchors = [i for i, part in enumerate(parts) if part == "repro"]
+    if anchors:
+        parts = parts[anchors[-1]:]
+    else:
+        parts = parts[-1:]
+    if parts[-1] == "__init__":
+        parts = parts[:-1] or ["__init__"]
+    return ".".join(parts)
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Read and parse one file into a :class:`ModuleInfo`."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleInfo(
+        path=path,
+        module=module_name_for_path(path),
+        source=source,
+        tree=tree,
+        suppressions=collect_suppressions(source),
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def _resolve_rules(select: Sequence[str] | None) -> list[Rule]:
+    if select is None:
+        return all_rules()
+    return [get_rule(rule_id.strip().upper()) for rule_id in select]
+
+
+def lint_modules(
+    modules: Iterable[ModuleInfo], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the (selected) rules over already-parsed modules."""
+    rules = _resolve_rules(select)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module):
+                if is_suppressed(
+                    module.suppressions, finding.line, finding.rule_id
+                ):
+                    continue
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; the main entry point.
+
+    A file that does not parse cannot be analyzed; it is reported as
+    the reserved finding ``R000`` (never suppressed or deselected —
+    a broken file must fail the gate regardless of rule selection).
+    """
+    modules: list[ModuleInfo] = []
+    parse_errors: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as error:
+            parse_errors.append(
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    rule_id="R000",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+    return sorted(lint_modules(modules, select=select) + parse_errors)
+
+
+def lint_source(
+    source: str,
+    module: str = "fixture",
+    path: str | Path = "<string>",
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory snippet (rule unit tests use this)."""
+    info = ModuleInfo(
+        path=Path(path),
+        module=module,
+        source=source,
+        tree=ast.parse(source),
+        suppressions=collect_suppressions(source),
+    )
+    return lint_modules([info], select=select)

@@ -11,6 +11,9 @@ Three commands cover the zero-to-working workflow:
 ``generate``
     Materialize a corpus personality on disk as CSV files plus JSON
     ground-truth annotations, for experimentation outside Python.
+``lint``
+    Run the repro static-analysis rules (R001–R005) over source
+    trees; exits 1 when there are findings, for use as a CI gate.
 """
 
 from __future__ import annotations
@@ -19,6 +22,9 @@ import argparse
 import sys
 from pathlib import Path
 
+import repro
+from repro.analysis import lint_paths, render_json, render_text
+from repro.errors import ConfigurationError
 from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import CORPUS_BUILDERS, make_corpus
 from repro.dialect.detector import detect_dialect
@@ -63,6 +69,23 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("output", type=Path)
     generate.add_argument("--scale", type=float, default=0.1)
     generate.add_argument("--seed", type=int, default=0)
+
+    lint = commands.add_parser(
+        "lint", help="run the repro static-analysis rules"
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories (default: the installed repro "
+             "package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
     return parser
 
 
@@ -135,6 +158,30 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    paths = args.paths or [Path(repro.__file__).parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+        return 2
+    select = (
+        [s for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    try:
+        findings = lint_paths(paths, select=select)
+    except ConfigurationError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings), file=out)
+    else:
+        print(render_text(findings), file=out)
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -143,6 +190,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "detect": _cmd_detect,
         "classify": _cmd_classify,
         "generate": _cmd_generate,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args, out)
 

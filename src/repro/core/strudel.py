@@ -16,6 +16,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
@@ -23,10 +24,9 @@ from repro.core.cell_features import CellFeatureExtractor
 from repro.core.line_features import LineFeatureExtractor
 from repro.dialect.detector import detect_dialect
 from repro.dialect.dialect import Dialect
-from repro.errors import NotFittedError
+from repro.errors import ConfigurationError, NotFittedError
 from repro.io.cropping import crop_table
 from repro.parsing import parse_csv_text
-from repro.ml.forest import RandomForestClassifier
 from repro.types import (
     CLASS_TO_INDEX,
     CONTENT_CLASSES,
@@ -39,6 +39,43 @@ from repro.types import (
 #: Forest size used by default.  The paper uses scikit-learn defaults
 #: (100 trees); experiments may pass a smaller budget for speed.
 DEFAULT_N_ESTIMATORS = 100
+
+#: Constructor for the default per-classifier model, registered by the
+#: composition root.  ``core`` may not import ``ml`` (layer rule
+#: R002), so the top-level ``repro`` package — which Python always
+#: initializes before any ``repro.*`` submodule — binds the random
+#: forest here at import time via
+#: :func:`set_default_classifier_factory`.
+_default_classifier_factory: Callable[..., Any] | None = None
+
+
+def set_default_classifier_factory(
+    factory: Callable[..., Any]
+) -> None:
+    """Register the estimator constructor used when no explicit
+    ``classifier_factory`` is passed to a Strudel classifier.
+
+    The factory is called as ``factory(n_estimators=…,
+    random_state=…)`` and must return an object with ``fit`` /
+    ``predict_proba`` / ``classes_``.  Called by ``repro/__init__.py``
+    with the random forest; tests may rebind it to swap the backbone.
+    """
+    global _default_classifier_factory
+    _default_classifier_factory = factory
+
+
+def _default_classifier(
+    n_estimators: int, random_state: int | None
+) -> Any:
+    if _default_classifier_factory is None:
+        raise ConfigurationError(
+            "no default classifier factory registered; import the "
+            "'repro' package (which binds the random forest) or pass "
+            "classifier_factory= explicitly"
+        )
+    return _default_classifier_factory(
+        n_estimators=n_estimators, random_state=random_state
+    )
 
 
 class StrudelLineClassifier:
@@ -75,9 +112,7 @@ class StrudelLineClassifier:
     def _make_model(self):
         if self._classifier_factory is not None:
             return self._classifier_factory()
-        return RandomForestClassifier(
-            n_estimators=self.n_estimators, random_state=self.random_state
-        )
+        return _default_classifier(self.n_estimators, self.random_state)
 
     def _select_columns(self) -> np.ndarray:
         names = self.extractor.feature_names
@@ -167,9 +202,7 @@ class StrudelCellClassifier:
     def _make_model(self):
         if self._classifier_factory is not None:
             return self._classifier_factory()
-        return RandomForestClassifier(
-            n_estimators=self.n_estimators, random_state=self.random_state
-        )
+        return _default_classifier(self.n_estimators, self.random_state)
 
     def _select_columns(self) -> np.ndarray:
         names = self.extractor.feature_names

@@ -34,3 +34,10 @@ class InvalidParameterError(ReproError):
 
 class GenerationError(ReproError):
     """Raised when a synthetic corpus generator is configured inconsistently."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when the library itself is mis-assembled: an invalid
+    static-analysis rule declaration, a cyclic layer graph, or a
+    missing composition-root registration (e.g. no default classifier
+    factory bound before a Strudel estimator needed one)."""

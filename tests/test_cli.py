@@ -54,6 +54,76 @@ class TestClassify:
         assert "header" in text or "metadata" in text
 
 
+class TestLint:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x=None):\n    return x\n",
+                         encoding="utf-8")
+        out = io.StringIO()
+        assert main(["lint", str(clean)], out=out) == 0
+        assert "no findings" in out.getvalue()
+
+    def test_findings_exit_one_with_json(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "def f(x={}):\n"
+            "    return random.random()\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        code = main(["lint", str(bad), "--format", "json"], out=out)
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert payload["count"] == 2
+        assert payload["by_rule"] == {"R001": 1, "R005": 1}
+
+    def test_select_limits_rules(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "def f(x={}):\n"
+            "    return random.random()\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        code = main(
+            ["lint", str(bad), "--format", "json",
+             "--select", "R005"],
+            out=out,
+        )
+        assert code == 1
+        assert json.loads(out.getvalue())["by_rule"] == {"R005": 1}
+
+    def test_shipped_package_is_clean(self):
+        out = io.StringIO()
+        assert main(["lint"], out=out) == 0
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        out = io.StringIO()
+        assert main(
+            ["lint", str(clean), "--select", "R999"], out=out
+        ) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        out = io.StringIO()
+        code = main(["lint", str(tmp_path / "absent.py")], out=out)
+        assert code == 2
+
+    def test_unparseable_file_reported_as_r000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        out = io.StringIO()
+        assert main(["lint", str(bad)], out=out) == 1
+        assert "R000" in out.getvalue()
+
+
 class TestGenerate:
     def test_generate_writes_corpus(self, tmp_path):
         out = io.StringIO()

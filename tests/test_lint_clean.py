@@ -1,0 +1,26 @@
+"""Tier-1 gate: the shipped source tree has zero lint findings.
+
+This is the enforcement half of ``repro.analysis``: every invariant
+the rules encode (seed threading, layer boundaries, feature
+contracts, deterministic iteration, no mutable defaults) holds for
+``src/repro`` on every commit.  A deliberate waiver must be spelled
+``# repro: noqa[RULE-ID]`` at the offending line, which keeps the
+exception visible in review instead of in this test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_text
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir(), f"expected source tree at {SRC}"
+
+
+def test_source_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + render_text(findings)
