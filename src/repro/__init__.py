@@ -32,6 +32,7 @@ from repro.dialect import Dialect, detect_dialect
 from repro.errors import ReproError
 from repro.io.reader import read_table, read_table_text
 from repro.ml.forest import RandomForestClassifier as _RandomForestClassifier
+from repro.perf.cache import FeatureCache
 from repro.types import AnnotatedFile, CellClass, Corpus, DataType, Table
 
 # Composition root: repro.core may not import repro.ml (layer rule
@@ -48,6 +49,7 @@ __all__ = [
     "Corpus",
     "DataType",
     "Dialect",
+    "FeatureCache",
     "LineToCellBaseline",
     "ReproError",
     "StructureResult",

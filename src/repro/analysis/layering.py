@@ -27,6 +27,12 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 
 #: Longest-prefix map from module prefix to layering node.
+#:
+#: ``repro.perf`` is split in two: the cache and parallel helpers form
+#: the low-level ``perf`` node (below ``core``, so the classifiers can
+#: consume them), while ``repro.perf.bench`` — which drives the whole
+#: pipeline end to end — is its own top-level ``bench`` node.  The
+#: longest-prefix lookup makes the split exact.
 NODE_BY_PREFIX: dict[str, str] = {
     "repro.util": "util",
     "repro.errors": "errors",
@@ -34,6 +40,8 @@ NODE_BY_PREFIX: dict[str, str] = {
     "repro.parsing": "dialect",
     "repro.dialect": "dialect",
     "repro.io": "io",
+    "repro.perf.bench": "bench",
+    "repro.perf": "perf",
     "repro.core": "core",
     "repro.ml": "ml",
     "repro.baselines": "baselines",
@@ -50,11 +58,14 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "util": frozenset(),
     "errors": frozenset(),
     "types": frozenset({"errors"}),
+    "perf": frozenset({"errors", "types", "util"}),
     "dialect": frozenset({"errors", "types", "util"}),
     "io": frozenset({"dialect", "errors", "types", "util"}),
-    "core": frozenset({"dialect", "errors", "io", "types", "util"}),
+    "core": frozenset(
+        {"dialect", "errors", "io", "perf", "types", "util"}
+    ),
     "ml": frozenset(
-        {"core", "dialect", "errors", "io", "types", "util"}
+        {"core", "dialect", "errors", "io", "perf", "types", "util"}
     ),
     "baselines": frozenset(
         {"core", "dialect", "errors", "io", "ml", "types", "util"}
@@ -65,14 +76,21 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "eval": frozenset(
         {
             "baselines", "core", "datagen", "dialect", "errors", "io",
-            "ml", "types", "util",
+            "ml", "perf", "types", "util",
+        }
+    ),
+    "bench": frozenset(
+        {
+            "core", "datagen", "dialect", "errors", "eval", "io",
+            "ml", "perf", "types", "util",
         }
     ),
     "analysis": frozenset({"errors", "util"}),
     "app": frozenset(
         {
-            "analysis", "baselines", "core", "datagen", "dialect",
-            "errors", "eval", "io", "ml", "types", "util",
+            "analysis", "baselines", "bench", "core", "datagen",
+            "dialect", "errors", "eval", "io", "ml", "perf", "types",
+            "util",
         }
     ),
 }

@@ -14,6 +14,10 @@ Three commands cover the zero-to-working workflow:
 ``lint``
     Run the repro static-analysis rules (R001–R005) over source
     trees; exits 1 when there are findings, for use as a CI gate.
+``bench``
+    Time the pipeline stages and analyze paths (legacy two-pass,
+    single-pass, cached) and write ``BENCH_pipeline.json``; see
+    ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +34,13 @@ from repro.datagen.corpora import CORPUS_BUILDERS, make_corpus
 from repro.dialect.detector import detect_dialect
 from repro.io.annotations import save_annotated_file
 from repro.io.writer import write_csv_text
+from repro.perf.bench import (
+    DEFAULT_OUTPUT,
+    BenchConfig,
+    format_summary,
+    run_benchmark,
+    write_report,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,6 +68,11 @@ def _build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--trees", type=int, default=40,
                           help="random forest size (default: 40)")
     classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count for feature extraction and forest "
+             "training; never changes predictions (default: 1)",
+    )
     classify.add_argument(
         "--cells", action="store_true",
         help="also print cell classes for mixed lines",
@@ -86,6 +102,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select",
         help="comma-separated rule ids to run (default: all)",
     )
+
+    bench = commands.add_parser(
+        "bench", help="benchmark the pipeline and emit a JSON report"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workload (small corpus, forest and file)",
+    )
+    bench.add_argument(
+        "--output", type=Path, default=Path(DEFAULT_OUTPUT),
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count; never changes results (default: 1)",
+    )
     return parser
 
 
@@ -105,7 +138,8 @@ def _cmd_classify(args: argparse.Namespace, out) -> int:
     )
     corpus = make_corpus(args.corpus, seed=args.seed, scale=args.scale)
     pipeline = StrudelPipeline(
-        n_estimators=args.trees, random_state=args.seed
+        n_estimators=args.trees, random_state=args.seed,
+        n_jobs=args.jobs,
     )
     pipeline.fit(corpus.files)
     result = pipeline.analyze(text)
@@ -182,6 +216,24 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    config = (
+        BenchConfig.quick_config(seed=args.seed, n_jobs=args.jobs)
+        if args.quick
+        else BenchConfig(seed=args.seed, n_jobs=args.jobs)
+    )
+    print(
+        f"benchmarking (quick={config.quick}, trees={config.trees}, "
+        f"rows={config.rows}, jobs={config.n_jobs}) ...",
+        file=out,
+    )
+    report = run_benchmark(config)
+    print(format_summary(report), file=out)
+    path = write_report(report, args.output)
+    print(f"report written to {path}", file=out)
+    return 0 if report["cv"]["byte_identical"] else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -191,6 +243,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "classify": _cmd_classify,
         "generate": _cmd_generate,
         "lint": _cmd_lint,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args, out)
 

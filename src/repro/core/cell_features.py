@@ -99,6 +99,15 @@ class CellFeatureExtractor:
         """Column names of the matrix produced by :meth:`extract`."""
         return CELL_FEATURE_NAMES
 
+    @property
+    def cache_key(self) -> str:
+        """Stable configuration key for corpus-level feature caches.
+
+        The line-probability input is *not* part of this key; callers
+        hash it separately (see ``StrudelCellClassifier``).
+        """
+        return f"cell-v1({self.detector.cache_key})"
+
     # ------------------------------------------------------------------
     def extract(
         self,

@@ -103,6 +103,16 @@ class DerivedDetector:
         self.anchor_mode = anchor_mode
         self.relative = relative
 
+    @property
+    def cache_key(self) -> str:
+        """Stable description of this configuration for feature-cache
+        keys: any parameter change must invalidate cached matrices."""
+        return (
+            f"derived(delta={self.delta!r},coverage={self.coverage!r},"
+            f"functions={','.join(self.functions)},"
+            f"anchor={self.anchor_mode},relative={int(self.relative)})"
+        )
+
     # ------------------------------------------------------------------
     def detect(self, table: Table) -> set[tuple[int, int]]:
         """All detected derived cell positions in ``table``."""

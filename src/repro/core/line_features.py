@@ -111,6 +111,18 @@ class LineFeatureExtractor:
             return LINE_FEATURE_NAMES + GLOBAL_FEATURE_NAMES
         return LINE_FEATURE_NAMES
 
+    @property
+    def cache_key(self) -> str:
+        """Stable configuration key for corpus-level feature caches.
+
+        Covers everything :meth:`extract` depends on besides the table
+        itself; see :mod:`repro.perf.cache`.
+        """
+        return (
+            f"line-v1(global={int(self.include_global_features)},"
+            f"{self.detector.cache_key})"
+        )
+
     # ------------------------------------------------------------------
     def extract(self, table: Table) -> np.ndarray:
         """Feature matrix of shape ``(n_rows, n_features)``.

@@ -11,6 +11,19 @@
 * :class:`StrudelPipeline` — the end-to-end flow of Figure 2: dialect
   detection, parsing, cropping, line classification, cell
   classification.
+
+Feature matrices are the hot path (Section 6.3.4: "most of the time
+is spent on creating the feature vectors"), so the flow is organized
+as a **single-pass plan**: each line feature matrix is extracted
+exactly once per table and shared — :meth:`StrudelLineClassifier.infer`
+returns a :class:`LineInference` carrying both the matrix and the
+aligned class probabilities, and every downstream consumer (line
+labels, the ``LineClassProbability`` cell features, cell prediction)
+derives from that one object.  An optional
+:class:`~repro.perf.cache.FeatureCache` memoizes matrices across
+repeated analyses and cross-validation folds, and ``n_jobs`` fans
+per-file extraction out over a worker pool without changing any
+result (ordered, per-file-independent work).
 """
 
 from __future__ import annotations
@@ -27,6 +40,8 @@ from repro.dialect.dialect import Dialect
 from repro.errors import ConfigurationError, NotFittedError
 from repro.io.cropping import crop_table
 from repro.parsing import parse_csv_text
+from repro.perf.cache import FeatureCache, array_hash, table_content_hash
+from repro.perf.parallel import parallel_map
 from repro.types import (
     CLASS_TO_INDEX,
     CONTENT_CLASSES,
@@ -56,16 +71,17 @@ def set_default_classifier_factory(
     ``classifier_factory`` is passed to a Strudel classifier.
 
     The factory is called as ``factory(n_estimators=…,
-    random_state=…)`` and must return an object with ``fit`` /
-    ``predict_proba`` / ``classes_``.  Called by ``repro/__init__.py``
-    with the random forest; tests may rebind it to swap the backbone.
+    random_state=…, n_jobs=…)`` and must return an object with
+    ``fit`` / ``predict_proba`` / ``classes_``.  Called by
+    ``repro/__init__.py`` with the random forest; tests may rebind it
+    to swap the backbone.
     """
     global _default_classifier_factory
     _default_classifier_factory = factory
 
 
 def _default_classifier(
-    n_estimators: int, random_state: int | None
+    n_estimators: int, random_state: int | None, n_jobs: int | None
 ) -> Any:
     if _default_classifier_factory is None:
         raise ConfigurationError(
@@ -74,8 +90,44 @@ def _default_classifier(
             "classifier_factory= explicitly"
         )
     return _default_classifier_factory(
-        n_estimators=n_estimators, random_state=random_state
+        n_estimators=n_estimators, random_state=random_state,
+        n_jobs=n_jobs,
     )
+
+
+def align_class_probabilities(
+    raw: np.ndarray, classes: np.ndarray, n_rows: int
+) -> np.ndarray:
+    """Spread a model's raw probability columns onto the canonical
+    six-class axis.
+
+    A model trained on data missing a rare class emits fewer columns
+    than :data:`~repro.types.CONTENT_CLASSES`; absent classes get
+    probability zero.  Shared by the line and cell classifiers so the
+    alignment convention lives in exactly one place.
+    """
+    aligned = np.zeros((n_rows, len(CONTENT_CLASSES)))
+    for column, klass in enumerate(classes):
+        aligned[:, int(klass)] = raw[:, column]
+    return aligned
+
+
+@dataclass
+class LineInference:
+    """One table's line-level inference, computed in a single pass.
+
+    Attributes
+    ----------
+    features:
+        The full ``(n_rows, n_features)`` line feature matrix (before
+        any feature-subset column selection).
+    probabilities:
+        The aligned ``(n_rows, 6)`` class probability matrix derived
+        from ``features``.
+    """
+
+    features: np.ndarray
+    probabilities: np.ndarray
 
 
 class StrudelLineClassifier:
@@ -90,6 +142,10 @@ class StrudelLineClassifier:
     feature_subset:
         Optional tuple of feature names to keep (feature-group
         ablations); ``None`` keeps all.
+    n_jobs:
+        Worker count for per-file feature extraction during ``fit``
+        and for the default forest backbone; results are independent
+        of the value (deterministic parallelism).
     """
 
     def __init__(
@@ -99,20 +155,29 @@ class StrudelLineClassifier:
         random_state: int | None = None,
         feature_subset: tuple[str, ...] | None = None,
         classifier_factory=None,
+        n_jobs: int | None = 1,
     ):
         self.extractor = extractor or LineFeatureExtractor()
         self.n_estimators = n_estimators
         self.random_state = random_state
         self.feature_subset = feature_subset
+        self.n_jobs = n_jobs
         self._classifier_factory = classifier_factory
         self._model = None
         self._columns: np.ndarray | None = None
+        self._feature_cache: FeatureCache | None = None
 
     # ------------------------------------------------------------------
+    def set_feature_cache(self, cache: FeatureCache | None) -> None:
+        """Attach (or detach) a corpus-level feature cache."""
+        self._feature_cache = cache
+
     def _make_model(self):
         if self._classifier_factory is not None:
             return self._classifier_factory()
-        return _default_classifier(self.n_estimators, self.random_state)
+        return _default_classifier(
+            self.n_estimators, self.random_state, self.n_jobs
+        )
 
     def _select_columns(self) -> np.ndarray:
         names = self.extractor.feature_names
@@ -125,18 +190,70 @@ class StrudelLineClassifier:
         return np.array([index[n] for n in self.feature_subset])
 
     # ------------------------------------------------------------------
-    def fit(self, files: list[AnnotatedFile]) -> "StrudelLineClassifier":
-        """Train on the non-empty lines of ``files``."""
+    # Feature extraction (cached, fan-out capable)
+    # ------------------------------------------------------------------
+    def _extract(self, table: Table) -> np.ndarray:
+        """The full line feature matrix for one table, via the cache.
+
+        The cache stores pre-column-selection matrices so one entry
+        serves every feature subset; ``_columns`` is applied by the
+        consumers.
+        """
+        if self._feature_cache is None:
+            return self.extractor.extract(table)
+        key = FeatureCache.make_key(
+            "line", self.extractor.cache_key, table_content_hash(table)
+        )
+        (features,) = self._feature_cache.get_or_compute(
+            key, lambda: (self.extractor.extract(table),)
+        )
+        return features
+
+    def extract_features(
+        self, tables: list[Table]
+    ) -> list[np.ndarray]:
+        """Per-table full feature matrices, fanned out over ``n_jobs``.
+
+        Output order matches input order regardless of the worker
+        count, so training data assembly stays deterministic.
+        """
+        return parallel_map(self._extract, tables, n_jobs=self.n_jobs)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        files: list[AnnotatedFile],
+        features: list[np.ndarray] | None = None,
+    ) -> "StrudelLineClassifier":
+        """Train on the non-empty lines of ``files``.
+
+        ``features`` may carry the per-file matrices from
+        :meth:`extract_features` when the caller already has them (the
+        cell classifier shares one extraction pass between the line
+        fit and its probability features).
+        """
         self._columns = self._select_columns()
+        if features is None:
+            features = self.extract_features(
+                [annotated.table for annotated in files]
+            )
         matrices: list[np.ndarray] = []
-        labels: list[int] = []
-        for annotated in files:
-            features = self.extractor.extract(annotated.table)
-            for i in annotated.non_empty_line_indices():
-                matrices.append(features[i])
-                labels.append(CLASS_TO_INDEX[annotated.line_labels[i]])
+        labels: list[np.ndarray] = []
+        for annotated, matrix in zip(files, features):
+            indices = annotated.non_empty_line_indices()
+            if not indices:
+                continue
+            matrices.append(matrix[indices])
+            labels.append(
+                np.array(
+                    [
+                        CLASS_TO_INDEX[annotated.line_labels[i]]
+                        for i in indices
+                    ]
+                )
+            )
         X = np.vstack(matrices)[:, self._columns]
-        y = np.asarray(labels)
+        y = np.concatenate(labels)
         self._model = self._make_model().fit(X, y)
         return self
 
@@ -145,6 +262,28 @@ class StrudelLineClassifier:
             raise NotFittedError("StrudelLineClassifier must be fitted first")
 
     # ------------------------------------------------------------------
+    def predict_proba_from_features(
+        self, features: np.ndarray
+    ) -> np.ndarray:
+        """Aligned ``(n_rows, 6)`` probabilities from a pre-extracted
+        full feature matrix (no re-extraction)."""
+        self._require_fitted()
+        raw = self._model.predict_proba(features[:, self._columns])
+        return align_class_probabilities(
+            raw, self._model.classes_, features.shape[0]
+        )
+
+    def infer(self, table: Table) -> LineInference:
+        """Extract the feature matrix once and derive the aligned
+        probabilities from it — the single-pass entry point shared by
+        every consumer of line-level inference."""
+        self._require_fitted()
+        features = self._extract(table)
+        return LineInference(
+            features=features,
+            probabilities=self.predict_proba_from_features(features),
+        )
+
     def predict_proba(self, table: Table) -> np.ndarray:
         """``(n_rows, 6)`` class probability matrix over all lines.
 
@@ -152,17 +291,19 @@ class StrudelLineClassifier:
         ones, whose rows are only consumed as features downstream);
         columns follow :data:`~repro.types.CONTENT_CLASSES` order.
         """
-        self._require_fitted()
-        features = self.extractor.extract(table)[:, self._columns]
-        raw = self._model.predict_proba(features)
-        aligned = np.zeros((features.shape[0], len(CONTENT_CLASSES)))
-        for column, klass in enumerate(self._model.classes_):
-            aligned[:, int(klass)] = raw[:, column]
-        return aligned
+        return self.infer(table).probabilities
 
-    def predict(self, table: Table) -> list[CellClass]:
-        """Predicted class per line; empty lines get ``CellClass.EMPTY``."""
-        proba = self.predict_proba(table)
+    def predict(
+        self, table: Table, inference: LineInference | None = None
+    ) -> list[CellClass]:
+        """Predicted class per line; empty lines get ``CellClass.EMPTY``.
+
+        Passing an existing :class:`LineInference` skips extraction
+        entirely.
+        """
+        if inference is None:
+            inference = self.infer(table)
+        proba = inference.probabilities
         labels = [INDEX_TO_CLASS[int(k)] for k in np.argmax(proba, axis=1)]
         return [
             CellClass.EMPTY if table.is_empty_row(i) else labels[i]
@@ -185,24 +326,35 @@ class StrudelCellClassifier:
         random_state: int | None = None,
         feature_subset: tuple[str, ...] | None = None,
         classifier_factory=None,
+        n_jobs: int | None = 1,
     ):
         self.line_classifier = line_classifier or StrudelLineClassifier(
-            n_estimators=n_estimators, random_state=random_state
+            n_estimators=n_estimators, random_state=random_state,
+            n_jobs=n_jobs,
         )
         self.extractor = extractor or CellFeatureExtractor()
         self.n_estimators = n_estimators
         self.random_state = random_state
         self.feature_subset = feature_subset
+        self.n_jobs = n_jobs
         self._classifier_factory = classifier_factory
         self._model = None
         self._columns: np.ndarray | None = None
         self._line_fitted_here = False
+        self._feature_cache: FeatureCache | None = None
 
     # ------------------------------------------------------------------
+    def set_feature_cache(self, cache: FeatureCache | None) -> None:
+        """Attach a feature cache to this classifier and its Strudel-L."""
+        self._feature_cache = cache
+        self.line_classifier.set_feature_cache(cache)
+
     def _make_model(self):
         if self._classifier_factory is not None:
             return self._classifier_factory()
-        return _default_classifier(self.n_estimators, self.random_state)
+        return _default_classifier(
+            self.n_estimators, self.random_state, self.n_jobs
+        )
 
     def _select_columns(self) -> np.ndarray:
         names = self.extractor.feature_names
@@ -215,30 +367,80 @@ class StrudelCellClassifier:
         return np.array([index[n] for n in self.feature_subset])
 
     # ------------------------------------------------------------------
+    def _extract_cells(
+        self, table: Table, probabilities: np.ndarray
+    ) -> tuple[list[tuple[int, int]], np.ndarray]:
+        """Positions and full cell feature matrix, via the cache.
+
+        Cell features depend on the upstream line probabilities, so
+        the cache key includes their hash — two different line models
+        can never share an entry.
+        """
+        if self._feature_cache is None:
+            return self.extractor.extract(table, probabilities)
+        key = FeatureCache.make_key(
+            "cell",
+            self.extractor.cache_key,
+            table_content_hash(table),
+            array_hash(probabilities),
+        )
+        positions_array, features = self._feature_cache.get_or_compute(
+            key, lambda: self._pack_extraction(table, probabilities)
+        )
+        positions = [(int(i), int(j)) for i, j in positions_array]
+        return positions, features
+
+    def _pack_extraction(
+        self, table: Table, probabilities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        positions, features = self.extractor.extract(table, probabilities)
+        packed = (
+            np.array(positions, dtype=np.int64)
+            if positions
+            else np.zeros((0, 2), dtype=np.int64)
+        )
+        return packed, features
+
+    # ------------------------------------------------------------------
     def fit(self, files: list[AnnotatedFile]) -> "StrudelCellClassifier":
         """Train on the non-empty cells of ``files``.
 
         Fits the line classifier on the same files first (unless the
         caller passed one that is already fitted), then uses its
-        probabilities as the ``LineClassProbability`` features.
+        probabilities as the ``LineClassProbability`` features.  The
+        line feature matrices are extracted exactly once and shared
+        between the line fit and the probability computation.
         """
+        line_features = self.line_classifier.extract_features(
+            [annotated.table for annotated in files]
+        )
         if self.line_classifier._model is None:
-            self.line_classifier.fit(files)
+            self.line_classifier.fit(files, features=line_features)
             self._line_fitted_here = True
         self._columns = self._select_columns()
 
         matrices: list[np.ndarray] = []
-        labels: list[int] = []
-        for annotated in files:
-            probabilities = self.line_classifier.predict_proba(annotated.table)
-            positions, features = self.extractor.extract(
+        labels: list[np.ndarray] = []
+        for annotated, matrix in zip(files, line_features):
+            probabilities = (
+                self.line_classifier.predict_proba_from_features(matrix)
+            )
+            positions, features = self._extract_cells(
                 annotated.table, probabilities
             )
-            for (i, j), row in zip(positions, features):
-                matrices.append(row)
-                labels.append(CLASS_TO_INDEX[annotated.cell_labels[i][j]])
+            if not positions:
+                continue
+            matrices.append(features)
+            labels.append(
+                np.array(
+                    [
+                        CLASS_TO_INDEX[annotated.cell_labels[i][j]]
+                        for i, j in positions
+                    ]
+                )
+            )
         X = np.vstack(matrices)[:, self._columns]
-        y = np.asarray(labels)
+        y = np.concatenate(labels)
         self._model = self._make_model().fit(X, y)
         return self
 
@@ -247,27 +449,53 @@ class StrudelCellClassifier:
             raise NotFittedError("StrudelCellClassifier must be fitted first")
 
     # ------------------------------------------------------------------
-    def predict_with_positions(
-        self, table: Table
+    def predict_from_features(
+        self,
+        positions: list[tuple[int, int]],
+        features: np.ndarray,
     ) -> tuple[list[tuple[int, int]], list[CellClass]]:
-        """Positions and predicted classes of all non-empty cells."""
+        """Predicted classes for pre-extracted cell features."""
         self._require_fitted()
-        probabilities = self.line_classifier.predict_proba(table)
-        positions, features = self.extractor.extract(table, probabilities)
         if not positions:
             return [], []
         raw = self._model.predict_proba(features[:, self._columns])
-        aligned = np.zeros((features.shape[0], len(CONTENT_CLASSES)))
-        for column, klass in enumerate(self._model.classes_):
-            aligned[:, int(klass)] = raw[:, column]
+        aligned = align_class_probabilities(
+            raw, self._model.classes_, features.shape[0]
+        )
         labels = [
             INDEX_TO_CLASS[int(k)] for k in np.argmax(aligned, axis=1)
         ]
         return positions, labels
 
-    def predict(self, table: Table) -> dict[tuple[int, int], CellClass]:
+    def predict_with_positions(
+        self,
+        table: Table,
+        line_inference: LineInference | None = None,
+    ) -> tuple[list[tuple[int, int]], list[CellClass]]:
+        """Positions and predicted classes of all non-empty cells.
+
+        ``line_inference`` carries an already-computed line pass (see
+        :meth:`StrudelLineClassifier.infer`); when omitted, one is
+        computed here — either way line features are extracted at most
+        once.
+        """
+        self._require_fitted()
+        if line_inference is None:
+            probabilities = self.line_classifier.predict_proba(table)
+        else:
+            probabilities = line_inference.probabilities
+        positions, features = self._extract_cells(table, probabilities)
+        return self.predict_from_features(positions, features)
+
+    def predict(
+        self,
+        table: Table,
+        line_inference: LineInference | None = None,
+    ) -> dict[tuple[int, int], CellClass]:
         """Mapping from non-empty cell positions to predicted classes."""
-        positions, labels = self.predict_with_positions(table)
+        positions, labels = self.predict_with_positions(
+            table, line_inference=line_inference
+        )
         return dict(zip(positions, labels))
 
 
@@ -318,6 +546,18 @@ class StrudelPipeline:
     :meth:`fit` with annotated files, then :meth:`analyze` with raw
     CSV text (dialect is detected automatically) or :meth:`analyze_table`
     with an already-parsed table.
+
+    Parameters
+    ----------
+    n_estimators, random_state, crop:
+        Model size, seed, and whether to crop parsed tables.
+    n_jobs:
+        Worker count threaded through feature extraction and the
+        forest backbone; never changes predictions.
+    feature_cache:
+        Optional :class:`~repro.perf.cache.FeatureCache` shared by
+        both classifiers, so repeated analyses of the same content
+        skip extraction.
     """
 
     def __init__(
@@ -325,21 +565,45 @@ class StrudelPipeline:
         n_estimators: int = DEFAULT_N_ESTIMATORS,
         random_state: int | None = None,
         crop: bool = True,
+        n_jobs: int | None = 1,
+        feature_cache: FeatureCache | None = None,
     ):
         self.line_classifier = StrudelLineClassifier(
-            n_estimators=n_estimators, random_state=random_state
+            n_estimators=n_estimators, random_state=random_state,
+            n_jobs=n_jobs,
         )
         self.cell_classifier = StrudelCellClassifier(
             line_classifier=self.line_classifier,
             n_estimators=n_estimators,
             random_state=random_state,
+            n_jobs=n_jobs,
         )
         self.crop = crop
+        self.n_jobs = n_jobs
+        if feature_cache is not None:
+            self.set_feature_cache(feature_cache)
+
+    def set_feature_cache(self, cache: FeatureCache | None) -> None:
+        """Attach a feature cache to both classifiers."""
+        self.cell_classifier.set_feature_cache(cache)
 
     def fit(self, files: list[AnnotatedFile]) -> "StrudelPipeline":
         """Train both classifiers on annotated files."""
         self.cell_classifier.fit(files)
         return self
+
+    def _classify(self, table: Table) -> tuple[
+        list[CellClass], dict[tuple[int, int], CellClass]
+    ]:
+        """One shared line pass feeding both output granularities."""
+        inference = self.line_classifier.infer(table)
+        line_classes = self.line_classifier.predict(
+            table, inference=inference
+        )
+        cell_classes = self.cell_classifier.predict(
+            table, line_inference=inference
+        )
+        return line_classes, cell_classes
 
     def analyze(self, text: str, dialect: Dialect | None = None) -> StructureResult:
         """Classify the structure of raw CSV ``text``."""
@@ -349,8 +613,7 @@ class StrudelPipeline:
         table = Table(rows if rows else [[""]])
         if self.crop:
             table = crop_table(table)
-        line_classes = self.line_classifier.predict(table)
-        cell_classes = self.cell_classifier.predict(table)
+        line_classes, cell_classes = self._classify(table)
         return StructureResult(
             dialect=dialect,
             table=table,
@@ -360,8 +623,7 @@ class StrudelPipeline:
 
     def analyze_table(self, table: Table) -> StructureResult:
         """Classify the structure of an already-parsed table."""
-        line_classes = self.line_classifier.predict(table)
-        cell_classes = self.cell_classifier.predict(table)
+        line_classes, cell_classes = self._classify(table)
         return StructureResult(
             dialect=Dialect.standard(),
             table=table,

@@ -48,6 +48,7 @@ from repro.ml.knn import KNeighborsClassifier
 from repro.ml.metrics import f1_per_class
 from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.ml.svm import LinearSVM
+from repro.perf.cache import FeatureCache
 from repro.types import (
     CLASS_TO_INDEX,
     CONTENT_CLASSES,
@@ -76,8 +77,12 @@ class ExperimentConfig:
     crf_max_iter: int = 40
     rnn_epochs: int = 6
     seed: int = 0
+    n_jobs: int = 1
     mendeley_scale: float | None = None
     _corpora: dict[str, Corpus] = field(default_factory=dict, repr=False)
+    _caches: dict[str, FeatureCache] = field(
+        default_factory=dict, repr=False
+    )
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
@@ -90,6 +95,7 @@ class ExperimentConfig:
             crf_max_iter=int(os.environ.get("REPRO_CRF_ITER", 40)),
             rnn_epochs=int(os.environ.get("REPRO_RNN_EPOCHS", 6)),
             seed=int(os.environ.get("REPRO_SEED", 0)),
+            n_jobs=int(os.environ.get("REPRO_JOBS", 1)),
         )
 
     # ------------------------------------------------------------------
@@ -112,6 +118,17 @@ class ExperimentConfig:
             self.corpus("cius"), self.corpus("deex"), name="saus+cius+deex"
         )
 
+    def feature_cache(self, name: str) -> FeatureCache:
+        """The (shared) corpus-level feature cache for corpus ``name``.
+
+        Sized to hold one line and one cell matrix per file so a full
+        repeated-CV run over the corpus never evicts.
+        """
+        if name not in self._caches:
+            n_files = max(1, len(self.corpus(name).files))
+            self._caches[name] = FeatureCache(max_entries=2 * n_files)
+        return self._caches[name]
+
     # ------------------------------------------------------------------
     # Algorithm factories
     # ------------------------------------------------------------------
@@ -119,12 +136,14 @@ class ExperimentConfig:
         """A config-sized Strudel-L instance."""
         kwargs.setdefault("n_estimators", self.n_estimators)
         kwargs.setdefault("random_state", self.seed)
+        kwargs.setdefault("n_jobs", self.n_jobs)
         return StrudelLineClassifier(**kwargs)
 
     def strudel_cell(self, **kwargs) -> StrudelCellClassifier:
         """A config-sized Strudel-C instance."""
         kwargs.setdefault("n_estimators", self.n_estimators)
         kwargs.setdefault("random_state", self.seed)
+        kwargs.setdefault("n_jobs", self.n_jobs)
         return StrudelCellClassifier(**kwargs)
 
     def crf_line(self) -> CRFLineClassifier:
@@ -240,6 +259,7 @@ def line_comparison(
                 n_repeats=config.n_repeats,
                 seed=config.seed,
                 exclude_derived=(name == "Pytheas-L"),
+                feature_cache=config.feature_cache(dataset),
             )
     return results
 
@@ -266,6 +286,7 @@ def cell_comparison(
                 n_splits=config.n_splits,
                 n_repeats=config.n_repeats,
                 seed=config.seed,
+                feature_cache=config.feature_cache(dataset),
             )
     return results
 

@@ -27,7 +27,8 @@ from repro.ml.metrics import (
     macro_f1,
     support_per_class,
 )
-from repro.ml.model_selection import RepeatedGroupKFold
+from repro.ml.model_selection import RepeatedGroupKFold, attach_feature_cache
+from repro.perf.cache import FeatureCache
 from repro.types import CONTENT_CLASSES, AnnotatedFile, CellClass, Corpus, Table
 
 
@@ -216,6 +217,7 @@ def _cross_validate(
     n_repeats: int,
     seed: int | None,
     labels: tuple[CellClass, ...],
+    feature_cache: FeatureCache | None = None,
     **collect_kwargs,
 ) -> CVResult:
     names = [annotated.name for annotated in corpus.files]
@@ -246,6 +248,11 @@ def _cross_validate(
             flush_repetition()
             current_repetition = repetition
         model = factory()
+        if feature_cache is not None:
+            # Shared across folds and repetitions: the per-file
+            # matrices only depend on content + extractor config, so
+            # every extraction after the first fold is a lookup.
+            attach_feature_cache(model, feature_cache)
         model.fit([by_name[n] for n in sorted(train_groups)])
         keys: list = []
         y_true, y_pred = collect(
@@ -280,8 +287,14 @@ def cross_validate_lines(
     n_repeats: int = 10,
     seed: int | None = 0,
     exclude_derived: bool = False,
+    feature_cache: FeatureCache | None = None,
 ) -> CVResult:
-    """Repeated grouped CV of a line algorithm over ``corpus``."""
+    """Repeated grouped CV of a line algorithm over ``corpus``.
+
+    ``feature_cache`` is offered to every fold's model (see
+    :func:`repro.ml.model_selection.attach_feature_cache`); caching
+    never changes scores, only how often matrices are extracted.
+    """
     labels = tuple(
         c
         for c in CONTENT_CLASSES
@@ -289,7 +302,8 @@ def cross_validate_lines(
     )
     return _cross_validate(
         corpus, factory, evaluate_lines, n_splits, n_repeats, seed,
-        labels, exclude_derived=exclude_derived,
+        labels, feature_cache=feature_cache,
+        exclude_derived=exclude_derived,
     )
 
 
@@ -299,11 +313,12 @@ def cross_validate_cells(
     n_splits: int = 10,
     n_repeats: int = 10,
     seed: int | None = 0,
+    feature_cache: FeatureCache | None = None,
 ) -> CVResult:
     """Repeated grouped CV of a cell algorithm over ``corpus``."""
     return _cross_validate(
         corpus, factory, evaluate_cells, n_splits, n_repeats, seed,
-        CONTENT_CLASSES,
+        CONTENT_CLASSES, feature_cache=feature_cache,
     )
 
 

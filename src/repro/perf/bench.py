@@ -1,0 +1,315 @@
+"""The ``repro bench`` harness: a perf trajectory for the pipeline.
+
+Times the stages the paper profiles in Section 6.3.4 (dialect
+detection, parsing, feature creation, prediction) plus the three ways
+this repository can serve an ``analyze`` request:
+
+* **legacy two-pass** — the pre-single-pass flow: line classification
+  and cell classification each extract the line feature matrix
+  themselves (what ``StrudelPipeline.analyze`` did before the
+  single-pass plan, reconstructed from public APIs);
+* **single-pass** — one :class:`~repro.core.strudel.LineInference`
+  shared by both output granularities (the current ``analyze``);
+* **cached** — single-pass with a warm
+  :class:`~repro.perf.cache.FeatureCache`, the repeated-traffic
+  configuration where matrices for known content are lookups.
+
+It also times repeated grouped CV with and without a corpus-level
+cache and checks the scores are byte-identical — caching and
+parallelism must never change a number.
+
+Results are written to ``BENCH_pipeline.json`` (schema
+``repro-bench/1``) so CI can archive one point per commit; see
+``docs/performance.md`` for how to read the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.strudel import StrudelPipeline
+from repro.datagen.corpora import make_corpus
+from repro.datagen.filegen import generate_file
+from repro.datagen.spec import FileSpec, TableSpec
+from repro.dialect.detector import detect_dialect
+from repro.eval.runner import CVResult, cross_validate_lines
+from repro.io.cropping import crop_table
+from repro.io.writer import write_csv_text
+from repro.parsing import parse_csv_text
+from repro.perf.cache import FeatureCache
+from repro.types import Corpus, Table
+from repro.util.rng import as_generator
+
+#: Schema tag for the emitted JSON, bumped on incompatible changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default output file name (uploaded as a CI artifact).
+DEFAULT_OUTPUT = "BENCH_pipeline.json"
+
+
+@dataclass
+class BenchConfig:
+    """Workload knobs for one benchmark run."""
+
+    corpus: str = "saus"
+    scale: float = 0.15
+    trees: int = 40
+    rows: int = 600
+    repeats: int = 3
+    cv_splits: int = 3
+    cv_repeats: int = 2
+    cv_trees: int = 12
+    seed: int = 0
+    n_jobs: int = 1
+    quick: bool = False
+
+    @classmethod
+    def quick_config(cls, seed: int = 0, n_jobs: int = 1) -> "BenchConfig":
+        """A CI-sized workload (finishes in well under a minute)."""
+        return cls(
+            scale=0.06, trees=10, rows=200, repeats=2, cv_splits=2,
+            cv_repeats=1, cv_trees=6, seed=seed, n_jobs=n_jobs,
+            quick=True,
+        )
+
+
+def generated_text(rows: int, seed: int) -> str:
+    """CSV text of a generated verbose file with ``rows`` data rows.
+
+    Mirrors the file used by ``benchmarks/test_scalability.py`` so the
+    two harnesses measure comparable inputs.
+    """
+    spec = FileSpec(
+        domain="science",
+        metadata_lines=2,
+        notes_lines=2,
+        tables=[
+            TableSpec(
+                n_numeric_cols=6,
+                n_groups=0,
+                rows_per_group=rows,
+                grand_total=True,
+            )
+        ],
+    )
+    annotated = generate_file(spec, as_generator(seed), f"bench{rows}")
+    return write_csv_text(annotated.table.rows())
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``repeats`` calls (noise-resistant)."""
+    samples = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def _parse(text: str) -> Table:
+    dialect = detect_dialect(text)
+    rows = parse_csv_text(text, dialect)
+    return crop_table(Table(rows if rows else [[""]]))
+
+
+def _legacy_two_pass(pipeline: StrudelPipeline, text: str) -> None:
+    """The pre-PR analyze flow: both classifiers extract on their own."""
+    table = _parse(text)
+    pipeline.line_classifier.predict(table)
+    pipeline.cell_classifier.predict(table)
+
+
+def _stage_breakdown(
+    pipeline: StrudelPipeline, text: str
+) -> dict[str, float]:
+    """Per-stage seconds for one single-pass analyze, extractors
+    called directly (no cache) so the stages sum to the cold cost."""
+    stages: dict[str, float] = {}
+    start = time.perf_counter()
+    dialect = detect_dialect(text)
+    stages["dialect_detection"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rows = parse_csv_text(text, dialect)
+    table = crop_table(Table(rows if rows else [[""]]))
+    stages["parsing"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    line_features = pipeline.line_classifier.extractor.extract(table)
+    stages["line_features"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    probabilities = pipeline.line_classifier.predict_proba_from_features(
+        line_features
+    )
+    stages["line_prediction"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    positions, cell_features = pipeline.cell_classifier.extractor.extract(
+        table, probabilities
+    )
+    stages["cell_features"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pipeline.cell_classifier.predict_from_features(
+        positions, cell_features
+    )
+    stages["cell_prediction"] = time.perf_counter() - start
+    return stages
+
+
+def _cv_results_identical(a: CVResult, b: CVResult) -> bool:
+    """Whether two CV runs produced bit-for-bit identical numbers."""
+    if not np.array_equal(a.confusion, b.confusion):
+        return False
+    if a.scores.macro_f1 != b.scores.macro_f1:
+        return False
+    if a.scores.accuracy != b.scores.accuracy:
+        return False
+    pairs = zip(a.per_repetition, b.per_repetition)
+    return len(a.per_repetition) == len(b.per_repetition) and all(
+        x.macro_f1 == y.macro_f1 and x.per_class_f1 == y.per_class_f1
+        for x, y in pairs
+    )
+
+
+def _bench_cv(config: BenchConfig, corpus: Corpus) -> dict:
+    """Repeated grouped CV, cold vs corpus-cached, with a parity check."""
+    from repro.core.strudel import StrudelLineClassifier
+
+    def factory():
+        return StrudelLineClassifier(
+            n_estimators=config.cv_trees, random_state=config.seed,
+            n_jobs=config.n_jobs,
+        )
+
+    def run(cache: FeatureCache | None) -> CVResult:
+        return cross_validate_lines(
+            corpus, factory, n_splits=config.cv_splits,
+            n_repeats=config.cv_repeats, seed=config.seed,
+            feature_cache=cache,
+        )
+
+    start = time.perf_counter()
+    uncached = run(None)
+    uncached_seconds = time.perf_counter() - start
+
+    cache = FeatureCache(max_entries=2 * max(1, len(corpus.files)))
+    start = time.perf_counter()
+    cached = run(cache)
+    cached_seconds = time.perf_counter() - start
+
+    return {
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": uncached_seconds / cached_seconds,
+        "byte_identical": _cv_results_identical(uncached, cached),
+        "macro_f1": uncached.scores.macro_f1,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }
+
+
+def run_benchmark(config: BenchConfig | None = None) -> dict:
+    """Run the full harness and return the report as a plain dict."""
+    config = config or BenchConfig()
+    corpus = make_corpus(
+        config.corpus, seed=config.seed, scale=config.scale
+    )
+    text = generated_text(config.rows, seed=config.seed)
+
+    pipeline = StrudelPipeline(
+        n_estimators=config.trees, random_state=config.seed,
+        n_jobs=config.n_jobs,
+    )
+    start = time.perf_counter()
+    pipeline.fit(corpus.files)
+    fit_seconds = time.perf_counter() - start
+
+    # Warm numpy/allocator caches before any timed region.
+    _legacy_two_pass(pipeline, text)
+    pipeline.analyze(text)
+
+    legacy_seconds = _median_seconds(
+        lambda: _legacy_two_pass(pipeline, text), config.repeats
+    )
+    single_pass_seconds = _median_seconds(
+        lambda: pipeline.analyze(text), config.repeats
+    )
+
+    cache = FeatureCache(max_entries=64)
+    pipeline.set_feature_cache(cache)
+    pipeline.analyze(text)  # populate the cache
+    cached_seconds = _median_seconds(
+        lambda: pipeline.analyze(text), config.repeats
+    )
+    pipeline.set_feature_cache(None)
+
+    stages = _stage_breakdown(pipeline, text)
+    cv = _bench_cv(config, corpus)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": asdict(config),
+        "fit_seconds": fit_seconds,
+        "stages": stages,
+        "analyze": {
+            "legacy_two_pass_seconds": legacy_seconds,
+            "single_pass_seconds": single_pass_seconds,
+            "cached_seconds": cached_seconds,
+            # Cold-path gain from extracting line features once.
+            "single_pass_speedup": legacy_seconds / single_pass_seconds,
+            # Headline: repeated traffic over known content against
+            # the pre-PR two-pass baseline.
+            "analyze_speedup": legacy_seconds / cached_seconds,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+        },
+        "cv": cv,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Persist a benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def format_summary(report: dict) -> str:
+    """Human-readable digest of a report, for terminal output."""
+    analyze = report["analyze"]
+    cv = report["cv"]
+    lines = [
+        f"fit: {report['fit_seconds']:.2f}s "
+        f"(trees={report['config']['trees']}, "
+        f"scale={report['config']['scale']:g})",
+        "stages (single analyze of the "
+        f"{report['config']['rows']}-row file):",
+    ]
+    total = sum(report["stages"].values())
+    for stage, seconds in report["stages"].items():
+        share = seconds / total if total else 0.0
+        lines.append(f"  {stage:<20} {seconds:>8.3f}s {share:>6.1%}")
+    lines.extend(
+        [
+            "analyze:",
+            f"  legacy two-pass      {analyze['legacy_two_pass_seconds']:>8.3f}s",
+            f"  single-pass          {analyze['single_pass_seconds']:>8.3f}s"
+            f"  ({analyze['single_pass_speedup']:.2f}x)",
+            f"  single-pass + cache  {analyze['cached_seconds']:>8.3f}s"
+            f"  ({analyze['analyze_speedup']:.2f}x)",
+            "cv:",
+            f"  uncached             {cv['uncached_seconds']:>8.3f}s",
+            f"  cached               {cv['cached_seconds']:>8.3f}s"
+            f"  ({cv['speedup']:.2f}x)",
+            f"  byte-identical       {cv['byte_identical']}",
+        ]
+    )
+    return "\n".join(lines)

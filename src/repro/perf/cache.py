@@ -1,0 +1,200 @@
+"""Corpus-level feature cache.
+
+Repeated grouped cross-validation re-extracts the same per-file
+feature matrices in every fold and repetition, and the paper's own
+profiling says that is where the time goes ("most of the time is
+spent on creating the feature vectors", Section 6.3.4).  The matrices
+only depend on the table contents and the extractor configuration —
+never on the fold — so one corpus-level cache makes every fold after
+the first a lookup.
+
+Keys are built from two parts:
+
+* a **content hash** of the table (SHA-256 over the raw cell values
+  with unambiguous separators), so two structurally identical tables
+  share an entry and any edit invalidates it;
+* an **extractor configuration key** provided by the caller (the
+  extractors expose ``cache_key`` properties), so changing detector
+  parameters or feature options can never serve stale matrices.
+
+Values are tuples of numpy arrays (the protocol the Strudel
+classifiers use: ``(features,)`` for line matrices,
+``(positions, features)`` for cell matrices).  Memory is bounded by
+an LRU policy; an optional directory adds on-disk persistence in
+``.npz`` format so a cache outlives the process (useful for repeated
+benchmark runs over a fixed corpus).
+
+The cache is thread-safe: concurrent ``get_or_compute`` calls may
+race to compute the same entry, but both compute identical arrays
+(extraction is deterministic), so last-write-wins is harmless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.types import Table
+
+#: Byte separators that make the row/cell flattening injective.
+_CELL_SEP = b"\x1f"
+_ROW_SEP = b"\x1e"
+
+
+def table_content_hash(table: Table) -> str:
+    """SHA-256 hex digest of a table's raw cell values.
+
+    Cells are joined with the ASCII unit separator and rows with the
+    record separator, so no combination of cell contents can collide
+    with a different grid of the same characters.
+    """
+    digest = hashlib.sha256()
+    for row in table.rows():
+        for value in row:
+            digest.update(value.encode("utf-8", errors="surrogatepass"))
+            digest.update(_CELL_SEP)
+        digest.update(_ROW_SEP)
+    return digest.hexdigest()
+
+
+def array_hash(array: np.ndarray) -> str:
+    """SHA-256 hex digest of an array's dtype, shape and bytes.
+
+    Used to key cell-feature entries by the line-probability matrix
+    they were derived from: different upstream line models must never
+    share cell features.
+    """
+    digest = hashlib.sha256()
+    contiguous = np.ascontiguousarray(array)
+    digest.update(str(contiguous.dtype).encode("ascii"))
+    digest.update(str(contiguous.shape).encode("ascii"))
+    digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+class FeatureCache:
+    """Bounded LRU cache for per-table feature matrices.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of in-memory entries; the least recently used
+        entry is evicted first.  Must be positive.
+    directory:
+        Optional directory for on-disk persistence.  Entries evicted
+        from memory remain loadable from disk; a fresh cache pointed
+        at the same directory starts warm.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        directory: str | Path | None = None,
+    ):
+        if max_entries < 1:
+            raise InvalidParameterError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[str, tuple[np.ndarray, ...]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(*parts: str) -> str:
+        """Join key components unambiguously (``|`` is the separator)."""
+        return "|".join(parts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> tuple[np.ndarray, ...] | None:
+        """The cached value for ``key``, or ``None``.
+
+        A memory hit refreshes the entry's LRU position; a disk hit
+        re-admits the entry into memory.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+        value = self._load_from_disk(key)
+        if value is not None:
+            with self._lock:
+                self.hits += 1
+                self._admit(key, value)
+            return value
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, value: tuple[np.ndarray, ...]) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries if full."""
+        with self._lock:
+            self._admit(key, value)
+        self._save_to_disk(key, value)
+
+    def get_or_compute(self, key, compute):
+        """The cached value for ``key``, computing and storing on miss.
+
+        ``compute`` must be a zero-argument callable returning a tuple
+        of numpy arrays; it runs outside the cache lock so concurrent
+        extraction can proceed in parallel.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = tuple(compute())
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all in-memory entries (disk files are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def _admit(self, key: str, value: tuple[np.ndarray, ...]) -> None:
+        """Insert under the held lock and enforce the memory bound."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.directory / f"{name}.npz"
+
+    def _save_to_disk(self, key: str, value: tuple[np.ndarray, ...]) -> None:
+        path = self._disk_path(key)
+        if path is None or path.exists():
+            return
+        arrays = {f"arr_{i}": array for i, array in enumerate(value)}
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+
+    def _load_from_disk(self, key: str) -> tuple[np.ndarray, ...] | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        with np.load(path) as archive:
+            return tuple(
+                archive[f"arr_{i}"] for i in range(len(archive.files))
+            )

@@ -1,0 +1,94 @@
+"""Deterministic fan-out helpers.
+
+The rule for every parallel path in this repository: parallelism may
+change *when* work happens, never *what* it computes.  Both helpers
+here guarantee that by construction:
+
+* work items are submitted in input order and results are collected
+  back into input order, so downstream reductions see the exact
+  sequence the sequential path would produce;
+* no helper draws randomness — callers pre-derive one independent
+  seeded stream per item (see :func:`repro.util.rng.spawn`), so the
+  schedule cannot leak into the numbers.
+
+``parallel_map`` prefers a thread pool (cheap start-up; numpy releases
+the GIL in its hot kernels) and can opt into a process pool for
+CPU-bound pure-Python work such as tree induction.  Any failure to
+stand up or use a process pool — missing ``fork``, unpicklable
+payload, a sandbox without ``sem_open`` — degrades to the sequential
+path, which is always equivalent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def effective_jobs(n_jobs: int | None, n_tasks: int) -> int:
+    """Resolve an ``n_jobs`` request into a concrete worker count.
+
+    ``None`` and ``1`` mean sequential; ``0`` or a negative value mean
+    "all available cores"; any other value is clamped to the number of
+    tasks so no worker sits idle by construction.
+    """
+    if n_tasks <= 1:
+        return 1
+    if n_jobs is None:
+        return 1
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, min(n_jobs, n_tasks))
+
+
+def _sequential_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_jobs: int | None = 1,
+    prefer: str = "threads",
+) -> list[R]:
+    """Apply ``fn`` to every item, preserving input order in the output.
+
+    Parameters
+    ----------
+    fn:
+        The per-item function.  For ``prefer="processes"`` it must be
+        picklable (a module-level function or ``functools.partial`` of
+        one).
+    items:
+        The work items; consumed eagerly so the task count is known.
+    n_jobs:
+        Worker count request, resolved by :func:`effective_jobs`.
+    prefer:
+        ``"threads"`` (default) or ``"processes"``.  Processes fall
+        back to the sequential path if the pool cannot be created or
+        the payload cannot be shipped; the result is identical either
+        way because each item is independent.
+    """
+    if prefer not in ("threads", "processes"):
+        raise ValueError(f"unknown executor preference: {prefer!r}")
+    work = list(items)
+    jobs = effective_jobs(n_jobs, len(work))
+    if jobs <= 1:
+        return _sequential_map(fn, work)
+    if prefer == "processes":
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(fn, work))
+        except Exception:
+            # Pools are an optimization, never a requirement: any
+            # failure (pickling, missing fork/semaphores, dying
+            # worker) silently degrades to the equivalent sequential
+            # computation.  Inputs are re-used untouched — process
+            # workers only ever saw copies.
+            return _sequential_map(fn, work)
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, work))

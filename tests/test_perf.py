@@ -1,0 +1,300 @@
+"""The perf subsystem: cache, fan-out helpers, parity, and bench.
+
+The contract under test everywhere here: performance machinery may
+change *when* work happens (cache lookups, worker pools), never *what*
+it computes — parity tests compare byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strudel import StrudelLineClassifier, StrudelPipeline
+from repro.errors import InvalidParameterError
+from repro.eval.runner import cross_validate_lines
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import attach_feature_cache
+from repro.perf.bench import (
+    BenchConfig,
+    format_summary,
+    run_benchmark,
+    write_report,
+)
+from repro.perf.cache import FeatureCache, array_hash, table_content_hash
+from repro.perf.parallel import effective_jobs, parallel_map
+from repro.types import Table
+
+
+# ----------------------------------------------------------------------
+# Content and array hashing
+# ----------------------------------------------------------------------
+def test_table_content_hash_changes_with_any_cell():
+    base = Table([["a", "b"], ["c", "d"]])
+    edited = Table([["a", "b"], ["c", "e"]])
+    assert table_content_hash(base) != table_content_hash(edited)
+    assert table_content_hash(base) == table_content_hash(
+        Table([["a", "b"], ["c", "d"]])
+    )
+
+
+def test_table_content_hash_separators_are_injective():
+    # Same characters, different grid: must not collide.
+    merged = Table([["ab"]])
+    split = Table([["a", "b"]])
+    stacked = Table([["a"], ["b"]])
+    hashes = {
+        table_content_hash(merged),
+        table_content_hash(split),
+        table_content_hash(stacked),
+    }
+    assert len(hashes) == 3
+
+
+def test_array_hash_sensitive_to_dtype_shape_and_values():
+    a = np.arange(6, dtype=np.float64)
+    assert array_hash(a) == array_hash(a.copy())
+    assert array_hash(a) != array_hash(a.astype(np.float32))
+    assert array_hash(a) != array_hash(a.reshape(2, 3))
+    b = a.copy()
+    b[0] = -1.0
+    assert array_hash(a) != array_hash(b)
+
+
+# ----------------------------------------------------------------------
+# FeatureCache
+# ----------------------------------------------------------------------
+def test_cache_roundtrip_and_stats():
+    cache = FeatureCache(max_entries=4)
+    value = (np.arange(4.0), np.ones((2, 2)))
+    assert cache.get("k") is None
+    cache.put("k", value)
+    got = cache.get("k")
+    assert got is not None
+    for stored, original in zip(got, value):
+        np.testing.assert_array_equal(stored, original)
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_cache_get_or_compute_computes_once():
+    cache = FeatureCache(max_entries=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return (np.zeros(3),)
+
+    first = cache.get_or_compute("k", compute)
+    second = cache.get_or_compute("k", compute)
+    assert len(calls) == 1
+    np.testing.assert_array_equal(first[0], second[0])
+
+
+def test_cache_lru_eviction_order():
+    cache = FeatureCache(max_entries=2)
+    cache.put("a", (np.zeros(1),))
+    cache.put("b", (np.ones(1),))
+    cache.get("a")  # refresh "a": now "b" is least recently used
+    cache.put("c", (np.full(1, 2.0),))
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+
+
+def test_cache_rejects_nonpositive_bound():
+    with pytest.raises(InvalidParameterError):
+        FeatureCache(max_entries=0)
+
+
+def test_cache_disk_persistence_survives_new_instance(tmp_path):
+    value = (np.arange(6.0).reshape(2, 3), np.array([1, 2, 3]))
+    warm = FeatureCache(max_entries=4, directory=tmp_path)
+    warm.put("k", value)
+
+    fresh = FeatureCache(max_entries=4, directory=tmp_path)
+    got = fresh.get("k")
+    assert got is not None
+    for stored, original in zip(got, value):
+        np.testing.assert_array_equal(stored, original)
+    assert fresh.hits == 1
+
+
+def test_cache_clear_keeps_disk_entries(tmp_path):
+    cache = FeatureCache(max_entries=4, directory=tmp_path)
+    cache.put("k", (np.zeros(2),))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("k") is not None  # reloaded from disk
+
+
+def test_make_key_joins_parts():
+    assert FeatureCache.make_key("line", "cfg", "hash") == "line|cfg|hash"
+
+
+# ----------------------------------------------------------------------
+# Fan-out helpers
+# ----------------------------------------------------------------------
+def test_effective_jobs_semantics():
+    assert effective_jobs(None, 10) == 1
+    assert effective_jobs(1, 10) == 1
+    assert effective_jobs(4, 10) == 4
+    assert effective_jobs(4, 2) == 2  # clamped to the task count
+    assert effective_jobs(4, 1) == 1
+    assert effective_jobs(0, 10) >= 1  # "all cores" resolves positive
+
+
+def test_parallel_map_preserves_order():
+    items = list(range(20))
+    sequential = parallel_map(lambda x: x * x, items, n_jobs=1)
+    threaded = parallel_map(lambda x: x * x, items, n_jobs=4)
+    assert sequential == threaded == [x * x for x in items]
+
+
+def test_parallel_map_processes_fall_back_on_unpicklable_work():
+    # Lambdas cannot be shipped to a process pool; the helper must
+    # degrade to the (equivalent) sequential path instead of raising.
+    items = list(range(8))
+    result = parallel_map(
+        lambda x: x + 1, items, n_jobs=4, prefer="processes"
+    )
+    assert result == [x + 1 for x in items]
+
+
+def test_parallel_map_rejects_unknown_preference():
+    with pytest.raises(ValueError):
+        parallel_map(int, [1], n_jobs=2, prefer="greenlets")
+
+
+# ----------------------------------------------------------------------
+# Determinism parity: parallelism and caching never change results
+# ----------------------------------------------------------------------
+def _toy_classification(seed: int = 7, n: int = 120, d: int = 6):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int) + (X[:, 2] > 1).astype(int)
+    return X, y
+
+
+def test_forest_parallel_fit_is_byte_identical():
+    X, y = _toy_classification()
+    sequential = RandomForestClassifier(
+        n_estimators=12, random_state=3, oob_score=True, n_jobs=1
+    ).fit(X, y)
+    parallel = RandomForestClassifier(
+        n_estimators=12, random_state=3, oob_score=True, n_jobs=3
+    ).fit(X, y)
+
+    np.testing.assert_array_equal(
+        sequential.predict_proba(X), parallel.predict_proba(X)
+    )
+    np.testing.assert_array_equal(
+        sequential.feature_importances_, parallel.feature_importances_
+    )
+    np.testing.assert_array_equal(
+        sequential.oob_decision_function_,
+        parallel.oob_decision_function_,
+    )
+    assert sequential.oob_score_ == parallel.oob_score_
+
+
+def test_pipeline_jobs_and_cache_are_byte_identical(tiny_corpus):
+    files = tiny_corpus.files
+    text = "\n".join(
+        ",".join(row) for row in files[0].table.rows()
+    )
+
+    baseline = StrudelPipeline(n_estimators=8, random_state=0)
+    baseline.fit(files)
+    expected = baseline.analyze(text)
+
+    tuned = StrudelPipeline(
+        n_estimators=8, random_state=0, n_jobs=2,
+        feature_cache=FeatureCache(max_entries=64),
+    )
+    tuned.fit(files)
+    result = tuned.analyze(text)
+
+    assert result.line_classes == expected.line_classes
+    assert result.cell_classes == expected.cell_classes
+    np.testing.assert_array_equal(
+        baseline.line_classifier._model.feature_importances_,
+        tuned.line_classifier._model.feature_importances_,
+    )
+    np.testing.assert_array_equal(
+        baseline.cell_classifier._model.feature_importances_,
+        tuned.cell_classifier._model.feature_importances_,
+    )
+
+
+def test_cache_hit_serves_identical_matrices(tiny_corpus):
+    table = tiny_corpus.files[0].table
+    cold = StrudelLineClassifier(n_estimators=4, random_state=0)
+    cold_matrix = cold.extractor.extract(table)
+
+    cache = FeatureCache(max_entries=8)
+    cached = StrudelLineClassifier(n_estimators=4, random_state=0)
+    cached.set_feature_cache(cache)
+    first = cached._extract(table)
+    second = cached._extract(table)
+
+    assert cache.hits >= 1
+    np.testing.assert_array_equal(first, cold_matrix)
+    np.testing.assert_array_equal(second, cold_matrix)
+
+
+def test_cross_validation_cache_parity(tiny_corpus):
+    def factory():
+        return StrudelLineClassifier(n_estimators=4, random_state=0)
+
+    uncached = cross_validate_lines(
+        tiny_corpus, factory, n_splits=3, n_repeats=1, seed=0
+    )
+    cache = FeatureCache(max_entries=64)
+    cached = cross_validate_lines(
+        tiny_corpus, factory, n_splits=3, n_repeats=1, seed=0,
+        feature_cache=cache,
+    )
+
+    assert cached.scores.macro_f1 == uncached.scores.macro_f1
+    assert cached.scores.accuracy == uncached.scores.accuracy
+    np.testing.assert_array_equal(cached.confusion, uncached.confusion)
+    # Three folds over the same files: every fold after the first is
+    # all lookups.
+    assert cache.hits > 0
+
+
+def test_attach_feature_cache_protocol(tiny_corpus):
+    cache = FeatureCache(max_entries=4)
+    strudel = StrudelLineClassifier(n_estimators=4)
+    assert attach_feature_cache(strudel, cache) is True
+    assert strudel._feature_cache is cache
+    assert attach_feature_cache(object(), cache) is False
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness
+# ----------------------------------------------------------------------
+def test_run_benchmark_smoke(tmp_path):
+    config = BenchConfig(
+        scale=0.04, trees=4, rows=40, repeats=1, cv_splits=2,
+        cv_repeats=1, cv_trees=3, quick=True,
+    )
+    report = run_benchmark(config)
+    assert report["schema"] == "repro-bench/1"
+    assert report["cv"]["byte_identical"] is True
+    assert set(report["analyze"]) >= {
+        "legacy_two_pass_seconds",
+        "single_pass_seconds",
+        "cached_seconds",
+        "single_pass_speedup",
+        "analyze_speedup",
+    }
+    assert report["analyze"]["cache_hits"] > 0
+
+    path = write_report(report, tmp_path / "BENCH_pipeline.json")
+    assert path.exists()
+    summary = format_summary(report)
+    assert "single-pass + cache" in summary
+    assert "byte-identical" in summary
