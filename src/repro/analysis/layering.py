@@ -42,6 +42,13 @@ NODE_BY_PREFIX: dict[str, str] = {
     "repro.io": "io",
     "repro.perf.bench": "bench",
     "repro.perf": "perf",
+    # The columnar TableProfile is declared explicitly: it sits at the
+    # *bottom* of core (datatypes/keywords below it, every extractor
+    # above it) but cannot be its own node — it imports core.datatypes
+    # while core.line_features imports it, so a split would cut the
+    # core node in half.  The explicit entry documents that the
+    # profile is core-internal infrastructure, not a new layer.
+    "repro.core.profile": "core",
     "repro.core": "core",
     "repro.ml": "ml",
     "repro.baselines": "baselines",

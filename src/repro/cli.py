@@ -36,8 +36,13 @@ from repro.io.annotations import save_annotated_file
 from repro.io.writer import write_csv_text
 from repro.perf.bench import (
     DEFAULT_OUTPUT,
+    DEFAULT_TOLERANCE,
     BenchConfig,
+    configs_comparable,
+    diff_reports,
+    format_diff,
     format_summary,
+    load_report,
     run_benchmark,
     write_report,
 )
@@ -118,6 +123,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--jobs", type=int, default=1,
         help="worker count; never changes results (default: 1)",
+    )
+    bench.add_argument(
+        "--baseline", type=Path, default=None,
+        help="saved report to diff against; exits non-zero if any "
+        "timing regresses beyond the tolerance",
+    )
+    bench.add_argument(
+        "--baseline-tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed slowdown ratio over the baseline before the "
+        f"diff fails (default: {DEFAULT_TOLERANCE:g} = "
+        f"{DEFAULT_TOLERANCE:.0%})",
     )
     return parser
 
@@ -222,6 +238,14 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         if args.quick
         else BenchConfig(seed=args.seed, n_jobs=args.jobs)
     )
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_report(args.baseline)
+        # json.JSONDecodeError subclasses ValueError.
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline: {error}", file=out)
+            return 2
     print(
         f"benchmarking (quick={config.quick}, trees={config.trees}, "
         f"rows={config.rows}, jobs={config.n_jobs}) ...",
@@ -229,9 +253,26 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     )
     report = run_benchmark(config)
     print(format_summary(report), file=out)
+    exit_code = 0 if report["cv"]["byte_identical"] else 1
+    if baseline is not None:
+        if not configs_comparable(report, baseline):
+            print(
+                f"baseline {args.baseline} ran a different workload "
+                "configuration; refusing to diff (rerun with matching "
+                "--quick/--seed flags)",
+                file=out,
+            )
+            return 2
+        diff = diff_reports(report, baseline, args.baseline_tolerance)
+        report["baseline_comparison"] = {
+            "baseline_path": str(args.baseline), **diff
+        }
+        print(format_diff(diff), file=out)
+        if diff["regressions"]:
+            exit_code = max(exit_code, 1)
     path = write_report(report, args.output)
     print(f"report written to {path}", file=out)
-    return 0 if report["cv"]["byte_identical"] else 1
+    return exit_code
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

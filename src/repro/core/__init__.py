@@ -9,6 +9,9 @@ This package implements the paper's primary contribution:
   components of non-empty cells).
 * :mod:`repro.core.derived` — Algorithm 2 (keyword-anchored derived
   cell detection for sum and mean).
+* :mod:`repro.core.profile` — the columnar
+  :class:`~repro.core.profile.TableProfile` of per-cell primitives,
+  computed once per table and shared by every extractor.
 * :mod:`repro.core.line_features` — the Table 1 line feature set.
 * :mod:`repro.core.cell_features` — the Table 2 cell feature set.
 * :mod:`repro.core.strudel` — ``StrudelLineClassifier`` (Strudel-L),
@@ -24,6 +27,7 @@ from repro.core.cell_features import CellFeatureExtractor
 from repro.core.extraction import ExtractedTable, extract_tables
 from repro.core.keywords import AGGREGATION_KEYWORDS, contains_aggregation_keyword
 from repro.core.line_features import LineFeatureExtractor
+from repro.core.profile import TableProfile, table_profile
 from repro.core.strudel import (
     LineToCellBaseline,
     StrudelCellClassifier,
@@ -42,6 +46,7 @@ __all__ = [
     "StrudelCellClassifier",
     "StrudelLineClassifier",
     "StrudelPipeline",
+    "TableProfile",
     "block_sizes",
     "contains_aggregation_keyword",
     "extract_tables",
@@ -49,4 +54,5 @@ __all__ = [
     "normalized_block_sizes",
     "parse_number",
     "refine_cell_predictions",
+    "table_profile",
 ]

@@ -6,13 +6,21 @@ component* of non-empty cells containing a cell, under 4-adjacency
 observation that non-data regions (notes, metadata, aggregation
 blocks) are usually smaller than tables.
 
-The implementation below follows the published pseudo-code: an
-iterative depth-first expansion over untouched non-empty cells, O(n)
-in the number of non-empty cells.
+The published pseudo-code is an iterative depth-first expansion over
+untouched non-empty cells; this module now delegates to the columnar
+:class:`~repro.core.profile.TableProfile`, whose run-based union-find
+labels the same components without per-cell Python (the DFS reference
+implementation lives on in ``tests/test_profile_parity.py``, which
+pins equality).  The dict views below remain the public Algorithm 1
+API; the cell feature extractor reads the profile's
+``block_size_grid`` directly.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.profile import table_profile
 from repro.types import Table
 
 
@@ -22,35 +30,13 @@ def block_sizes(table: Table) -> dict[tuple[int, int], int]:
     Returns a mapping from ``(row, col)`` of each non-empty cell to the
     number of cells in its connected component.
     """
-    non_empty = {
-        (cell.row, cell.col) for cell in table.non_empty_cells()
+    profile = table_profile(table)
+    rows, cols = np.nonzero(profile.non_empty)
+    sizes = profile.block_size_grid[rows, cols]
+    return {
+        (int(i), int(j)): int(size)
+        for i, j, size in zip(rows, cols, sizes)
     }
-    sizes: dict[tuple[int, int], int] = {}
-    visited: set[tuple[int, int]] = set()
-
-    for start in non_empty:
-        if start in visited:
-            continue
-        # Depth-first expansion of the component containing ``start``.
-        component: list[tuple[int, int]] = []
-        stack = [start]
-        visited.add(start)
-        while stack:
-            row, col = stack.pop()
-            component.append((row, col))
-            for neighbour in (
-                (row - 1, col),
-                (row + 1, col),
-                (row, col - 1),
-                (row, col + 1),
-            ):
-                if neighbour in non_empty and neighbour not in visited:
-                    visited.add(neighbour)
-                    stack.append(neighbour)
-        size = len(component)
-        for position in component:
-            sizes[position] = size
-    return sizes
 
 
 def normalized_block_sizes(table: Table) -> dict[tuple[int, int], float]:

@@ -27,17 +27,24 @@ Conventions (the paper leaves these implicit):
   value length and data type;
 * a row/column adjacent to the file boundary counts as "empty" for the
   ``IsEmptyRowBefore/After`` and ``IsEmptyColumnLeft/Right`` flags.
+
+The matrix is assembled column-wise from the shared
+:class:`~repro.core.profile.TableProfile` — data types, lengths,
+keyword flags, emptiness aggregates and block sizes are the same
+arrays the line extractor and derived-cell detector consume, computed
+once per table.  Neighbour features use a ``-1``-padded copy of each
+grid so the eight offsets become eight shifted views instead of
+per-cell bounds checks.  ``tests/test_profile_parity.py`` pins the
+output byte-identical to the original per-cell implementation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocks import normalized_block_sizes
-from repro.core.datatypes import infer_data_type
 from repro.core.derived import DerivedDetector
-from repro.core.keywords import contains_aggregation_keyword
-from repro.types import CONTENT_CLASSES, DataType, MISSING_NEIGHBOR, Table
+from repro.core.profile import table_profile
+from repro.types import CONTENT_CLASSES, MISSING_NEIGHBOR, Table
 
 _NEIGHBOR_OFFSETS: tuple[tuple[int, int], ...] = (
     (-1, -1), (-1, 0), (-1, 1),
@@ -131,104 +138,86 @@ class CellFeatureExtractor:
             ``positions[i]`` is the ``(row, col)`` of feature row ``i``.
         """
         n_rows, n_cols = table.shape
+        n_classes = len(CONTENT_CLASSES)
         if line_probabilities is None:
             line_probabilities = np.full(
-                (n_rows, len(CONTENT_CLASSES)), 1.0 / len(CONTENT_CLASSES)
+                (n_rows, n_classes), 1.0 / n_classes
             )
-        if line_probabilities.shape != (n_rows, len(CONTENT_CLASSES)):
+        if line_probabilities.shape != (n_rows, n_classes):
             raise ValueError(
                 f"line_probabilities must have shape "
-                f"({n_rows}, {len(CONTENT_CLASSES)}), got "
+                f"({n_rows}, {n_classes}), got "
                 f"{line_probabilities.shape}"
             )
 
-        rows = list(table.rows())
-        types = np.array(
-            [[int(infer_data_type(v)) for v in row] for row in rows],
-            dtype=np.float64,
-        )
-        lengths = np.array(
-            [[float(len(v.strip())) for v in row] for row in rows],
-            dtype=np.float64,
-        )
+        profile = table_profile(table)
+        rr, cc = np.nonzero(profile.non_empty)
+        positions = [(int(i), int(j)) for i, j in zip(rr, cc)]
+        if not positions:
+            return positions, np.zeros((0, len(CELL_FEATURE_NAMES)))
+
+        types = profile.dtype_grid.astype(np.float64)
+        lengths = profile.value_lengths.astype(np.float64)
         max_length = lengths.max() if lengths.size else 1.0
         if max_length <= 0:
             max_length = 1.0
         norm_lengths = lengths / max_length
 
-        empty = types == float(DataType.EMPTY)
-        empty_row = empty.all(axis=1)
-        empty_col = empty.all(axis=0)
-        row_empty_ratio = empty.mean(axis=1)
-        col_empty_ratio = empty.mean(axis=0)
-
-        keyword = np.zeros((n_rows, n_cols), dtype=bool)
-        for i, row in enumerate(rows):
-            for j, value in enumerate(row):
-                if value.strip() and contains_aggregation_keyword(value):
-                    keyword[i, j] = True
-        row_keyword = keyword.any(axis=1)
-        col_keyword = keyword.any(axis=0)
-
-        blocks = normalized_block_sizes(table)
+        probabilities = np.asarray(line_probabilities, dtype=np.float64)
         derived = self.detector.detect(table)
+        derived_mask = np.zeros((n_rows, n_cols), dtype=bool)
+        for i, j in derived:
+            derived_mask[i, j] = True
 
-        positions: list[tuple[int, int]] = []
-        feature_rows: list[np.ndarray] = []
-        for cell in table.non_empty_cells():
-            i, j = cell.row, cell.col
-            positions.append((i, j))
-            feature_rows.append(
-                self._cell_features(
-                    i, j, n_rows, n_cols, types, norm_lengths, empty_row,
-                    empty_col, row_empty_ratio, col_empty_ratio, keyword,
-                    row_keyword, col_keyword, blocks, derived,
-                    line_probabilities,
-                )
-            )
-        if feature_rows:
-            return positions, np.vstack(feature_rows)
-        return positions, np.zeros((0, len(CELL_FEATURE_NAMES)))
+        features = np.empty((len(positions), len(CELL_FEATURE_NAMES)))
+        # Content features.
+        features[:, 0] = norm_lengths[rr, cc]
+        features[:, 1] = types[rr, cc]
+        features[:, 2] = profile.keyword_mask[rr, cc]
+        features[:, 3] = profile.row_keyword[rr]
+        features[:, 4] = profile.col_keyword[cc]
+        features[:, 5] = rr / (n_rows - 1) if n_rows > 1 else 0.0
+        features[:, 6] = cc / (n_cols - 1) if n_cols > 1 else 0.0
+        features[:, 7 : 7 + n_classes] = probabilities[rr]
 
-    # ------------------------------------------------------------------
-    def _cell_features(
-        self, i, j, n_rows, n_cols, types, norm_lengths, empty_row,
-        empty_col, row_empty_ratio, col_empty_ratio, keyword, row_keyword,
-        col_keyword, blocks, derived, line_probabilities,
-    ) -> np.ndarray:
-        content = [
-            norm_lengths[i, j],
-            types[i, j],
-            1.0 if keyword[i, j] else 0.0,
-            1.0 if row_keyword[i] else 0.0,
-            1.0 if col_keyword[j] else 0.0,
-            i / (n_rows - 1) if n_rows > 1 else 0.0,
-            j / (n_cols - 1) if n_cols > 1 else 0.0,
-        ]
-        content.extend(float(p) for p in line_probabilities[i])
-
-        contextual = [
-            1.0 if (i == 0 or empty_row[i - 1]) else 0.0,
-            1.0 if (i == n_rows - 1 or empty_row[i + 1]) else 0.0,
-            1.0 if (j == 0 or empty_col[j - 1]) else 0.0,
-            1.0 if (j == n_cols - 1 or empty_col[j + 1]) else 0.0,
-            float(row_empty_ratio[i]),
-            float(col_empty_ratio[j]),
-            blocks.get((i, j), 0.0),
-        ]
-        neighbor_lengths = []
-        neighbor_types = []
-        for di, dj in _NEIGHBOR_OFFSETS:
-            ni, nj = i + di, j + dj
-            if 0 <= ni < n_rows and 0 <= nj < n_cols:
-                neighbor_lengths.append(float(norm_lengths[ni, nj]))
-                neighbor_types.append(float(types[ni, nj]))
-            else:
-                neighbor_lengths.append(float(MISSING_NEIGHBOR))
-                neighbor_types.append(float(MISSING_NEIGHBOR))
-
-        computational = [1.0 if (i, j) in derived else 0.0]
-        return np.array(
-            content + contextual + neighbor_lengths + neighbor_types
-            + computational
+        # Contextual features: boundary rows/columns count as empty.
+        base = 7 + n_classes
+        padded_empty_row = np.concatenate(
+            [[True], profile.empty_row, [True]]
         )
+        padded_empty_col = np.concatenate(
+            [[True], profile.empty_col, [True]]
+        )
+        features[:, base + 0] = padded_empty_row[rr]
+        features[:, base + 1] = padded_empty_row[rr + 2]
+        features[:, base + 2] = padded_empty_col[cc]
+        features[:, base + 3] = padded_empty_col[cc + 2]
+        features[:, base + 4] = profile.row_empty_ratio[rr]
+        features[:, base + 5] = profile.col_empty_ratio[cc]
+        features[:, base + 6] = (
+            profile.block_size_grid[rr, cc] / (n_rows * n_cols)
+        )
+
+        for offset, (di, dj) in enumerate(_NEIGHBOR_OFFSETS):
+            features[:, base + 7 + offset] = _shifted(
+                norm_lengths, rr, cc, di, dj
+            )
+            features[:, base + 15 + offset] = _shifted(
+                types, rr, cc, di, dj
+            )
+
+        # Computational feature.
+        features[:, base + 23] = derived_mask[rr, cc]
+        return positions, features
+
+
+def _shifted(
+    grid: np.ndarray, rr: np.ndarray, cc: np.ndarray, di: int, dj: int
+) -> np.ndarray:
+    """Values of ``grid`` at ``(rr + di, cc + dj)`` with the paper's
+    ``-1`` default for neighbours beyond the table boundary."""
+    padded = np.full(
+        (grid.shape[0] + 2, grid.shape[1] + 2), float(MISSING_NEIGHBOR)
+    )
+    padded[1:-1, 1:-1] = grid
+    return padded[rr + 1 + di, cc + 1 + dj]

@@ -11,8 +11,15 @@ percent signs and accounting-style parenthesized negatives.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from repro.types import DataType
+
+#: Bound on the memo of each classification function.  Verbose CSV
+#: corpora repeat values heavily (years, group labels, small
+#: integers), so even a modest bound absorbs nearly all repeats while
+#: keeping worst-case memory fixed.
+_MEMO_SIZE = 65536
 
 _INT_PATTERN = re.compile(r"^[+-]?\d{1,3}(,\d{3})+$|^[+-]?\d+$")
 _FLOAT_PATTERN = re.compile(
@@ -36,12 +43,18 @@ _DATE_PATTERNS = (
 _NUMBER_CLEANUP = re.compile(r"^[\s$€£]+|[\s%]+$")
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def infer_data_type(value: str) -> DataType:
     """The :class:`DataType` of a raw cell value.
 
     A four-digit bare number such as ``"2019"`` is classified as
     ``INT`` — the paper explicitly discusses numeric year headers being
     typed like data, which this choice reproduces.
+
+    Memoized with a bounded LRU cache: the regex cascade runs once per
+    distinct value, so callers outside the columnar
+    :class:`~repro.core.profile.TableProfile` (dialect detection,
+    baselines) also stop re-classifying repeated values.
     """
     stripped = value.strip()
     if not stripped:
@@ -61,12 +74,16 @@ def is_numeric_type(dtype: DataType) -> bool:
     return dtype in (DataType.INT, DataType.FLOAT)
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def parse_number(value: str) -> float | None:
     """Parse a cell into a float, or ``None`` if it is not numeric.
 
     Handles thousands separators (``1,234,567``), leading currency
     symbols, trailing percent signs, and accounting negatives
     (``(123)`` meaning ``-123``).  Dates are *not* numbers.
+
+    Memoized like :func:`infer_data_type`; the returned floats are
+    immutable, so sharing cached results is safe.
     """
     stripped = value.strip()
     if not stripped:

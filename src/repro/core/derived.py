@@ -29,8 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.datatypes import parse_number
-from repro.core.keywords import contains_aggregation_keyword
+from repro.core.profile import TableProfile, table_profile
 from repro.errors import InvalidParameterError
 from repro.types import Table
 
@@ -45,14 +44,14 @@ DEFAULT_FUNCTIONS: tuple[str, ...] = ("sum", "mean")
 
 
 def numeric_grid(table: Table) -> np.ndarray:
-    """``(n_rows, n_cols)`` float array; non-numeric cells are NaN."""
-    grid = np.full(table.shape, np.nan, dtype=np.float64)
-    for i, row in enumerate(table.rows()):
-        for j, value in enumerate(row):
-            number = parse_number(value)
-            if number is not None:
-                grid[i, j] = number
-    return grid
+    """``(n_rows, n_cols)`` float array; non-numeric cells are NaN.
+
+    A copy of the table profile's columnar
+    :attr:`~repro.core.profile.TableProfile.numeric_grid` (every cell
+    parsed once per file via the unique-value dispatch); the copy
+    keeps the memoized array safe from caller mutation.
+    """
+    return table_profile(table).numeric_grid.copy()
 
 
 class DerivedDetector:
@@ -115,9 +114,23 @@ class DerivedDetector:
 
     # ------------------------------------------------------------------
     def detect(self, table: Table) -> set[tuple[int, int]]:
-        """All detected derived cell positions in ``table``."""
-        grid = numeric_grid(table)
-        anchors = self._anchoring_cells(table, grid)
+        """All detected derived cell positions in ``table``.
+
+        Delegates to the table's memoized profile, so the line and
+        cell extractors (which run identically-configured detectors
+        over the same table) share one detection pass.  The returned
+        set is shared — treat it as read-only.
+        """
+        return table_profile(table).derived_cells(self)
+
+    def detect_profile(
+        self, profile: TableProfile
+    ) -> set[tuple[int, int]]:
+        """The detection pass proper, over pre-computed columnar
+        primitives (called by
+        :meth:`~repro.core.profile.TableProfile.derived_cells`)."""
+        grid = profile.numeric_grid
+        anchors = self._anchoring_cells(profile, grid)
         detected: set[tuple[int, int]] = set()
         checked_rows: set[int] = set()
         checked_cols: set[int] = set()
@@ -140,13 +153,15 @@ class DerivedDetector:
 
     # ------------------------------------------------------------------
     def _anchoring_cells(
-        self, table: Table, grid: np.ndarray
+        self, profile: TableProfile, grid: np.ndarray
     ) -> list[tuple[int, int]]:
         if self.anchor_mode == "keyword":
+            # Row-major order of the keyword mask matches the original
+            # non_empty_cells() scan (a keyword implies a non-empty
+            # cell, and stripping never changes tokenization).
             return [
-                (cell.row, cell.col)
-                for cell in table.non_empty_cells()
-                if contains_aggregation_keyword(cell.value)
+                (int(i), int(j))
+                for i, j in np.argwhere(profile.keyword_mask)
             ]
         # Exhaustive mode: one pseudo-anchor per row and per column
         # that contains at least one numeric cell.

@@ -27,23 +27,28 @@ The extractor can optionally append the paper's rejected *global*
 features (file-level emptiness, width, length, empty-block count) for
 the ablation experiment that reproduces the finding of "no positive
 impact".
+
+The whole matrix is computed from the columnar
+:class:`~repro.core.profile.TableProfile` — per-cell data types,
+stripped lengths, word counts and keyword flags are classified once
+per file (once per *distinct* value, in fact) and every feature below
+is a vectorized reduction over those arrays.  Where a reference
+formula sums floating-point terms sequentially, the vectorized code
+uses ``np.cumsum`` (a sequential accumulation) rather than ``np.sum``
+(pairwise), so the output stays byte-identical to the original
+per-line implementation, which ``tests/test_profile_parity.py``
+enforces against a retained legacy reference.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.core.datatypes import infer_data_type, is_numeric_type
 from repro.core.derived import DerivedDetector
-from repro.core.keywords import line_contains_aggregation_keyword
-from repro.types import DataType, Table
-from repro.util.stats import (
-    bhattacharyya_distance,
-    discounted_cumulative_gain,
-    histogram,
-    min_max_normalize,
-)
-from repro.util.text import count_words
+from repro.core.profile import TableProfile, table_profile
+from repro.types import Table
 
 #: Histogram geometry for ``CellLengthDifference``.
 _LENGTH_BINS = 10
@@ -132,159 +137,250 @@ class LineFeatureExtractor:
         select only non-empty lines.
         """
         n_rows, n_cols = table.shape
-        rows = list(table.rows())
-        types = [
-            [infer_data_type(value) for value in row] for row in rows
-        ]
-        empty_line = [table.is_empty_row(i) for i in range(n_rows)]
-        derived_cells = self.detector.detect(table)
-
-        word_counts = [
-            float(sum(count_words(value) for value in row)) for row in rows
-        ]
-        word_normalized = min_max_normalize(word_counts)
-
-        above = self._closest_non_empty(empty_line, direction=-1)
-        below = self._closest_non_empty(empty_line, direction=+1)
-
+        profile = table_profile(table)
         features = np.zeros((n_rows, len(self.feature_names)))
-        for i in range(n_rows):
-            features[i, :14] = self._line_features(
-                i, rows, types, empty_line, derived_cells,
-                word_normalized[i], above[i], below[i], n_rows, n_cols,
-            )
+        if n_rows == 0:
+            return features
+
+        empty_line = profile.empty_row
+        above = _closest_non_empty(empty_line, direction=-1)
+        below = _closest_non_empty(empty_line, direction=+1)
+
+        features[:, 0] = self._empty_cell_ratio(profile, n_cols)
+        features[:, 1] = self._discounted_cumulative_gain(profile)
+        features[:, 2] = profile.row_keyword.astype(np.float64)
+        features[:, 3] = self._word_amount(profile)
+        features[:, 4], features[:, 5] = self._type_ratios(profile)
+        features[:, 6] = self._line_position(n_rows)
+        features[:, 7] = self._data_type_matching(profile, above)
+        features[:, 8] = self._data_type_matching(profile, below)
+        features[:, 9] = self._empty_neighbor_ratio(empty_line, -1)
+        features[:, 10] = self._empty_neighbor_ratio(empty_line, +1)
+        histograms = self._length_histograms(profile)
+        features[:, 11] = self._cell_length_difference(histograms, above)
+        features[:, 12] = self._cell_length_difference(histograms, below)
+        features[:, 13] = self._derived_coverage(table, profile)
+
         if self.include_global_features:
-            features[:, 14:] = self._global_features(empty_line, n_rows,
-                                                     n_cols)
+            features[:, 14:] = self._global_features(
+                empty_line, n_rows, n_cols
+            )
         return features
 
     # ------------------------------------------------------------------
-    def _line_features(
-        self,
-        i: int,
-        rows: list[list[str]],
-        types: list[list[DataType]],
-        empty_line: list[bool],
-        derived_cells: set[tuple[int, int]],
-        word_amount: float,
-        above: int | None,
-        below: int | None,
-        n_rows: int,
-        n_cols: int,
-    ) -> np.ndarray:
-        row = rows[i]
-        row_types = types[i]
-        non_empty = [j for j, t in enumerate(row_types)
-                     if t is not DataType.EMPTY]
-        n_non_empty = len(non_empty)
-
-        empty_ratio = 1.0 - n_non_empty / n_cols if n_cols else 1.0
-        dcg = discounted_cumulative_gain(
-            [0.0 if t is DataType.EMPTY else 1.0 for t in row_types]
-        )
-        aggregation = 1.0 if line_contains_aggregation_keyword(row) else 0.0
-        numeric = sum(
-            1 for j in non_empty if is_numeric_type(row_types[j])
-        )
-        strings = sum(
-            1 for j in non_empty if row_types[j] is DataType.STRING
-        )
-        numeric_ratio = numeric / n_non_empty if n_non_empty else 0.0
-        string_ratio = strings / n_non_empty if n_non_empty else 0.0
-        position = i / (n_rows - 1) if n_rows > 1 else 0.0
-
-        matching_above = self._data_type_matching(row_types, types, above)
-        matching_below = self._data_type_matching(row_types, types, below)
-        empties_above = self._empty_neighbor_ratio(empty_line, i, -1)
-        empties_below = self._empty_neighbor_ratio(empty_line, i, +1)
-        length_above = self._cell_length_difference(row, rows, above)
-        length_below = self._cell_length_difference(row, rows, below)
-
-        derived_in_line = sum(
-            1
-            for j in non_empty
-            if is_numeric_type(row_types[j]) and (i, j) in derived_cells
-        )
-        derived_coverage = derived_in_line / numeric if numeric else 0.0
-
-        return np.array([
-            empty_ratio, dcg, aggregation, word_amount, numeric_ratio,
-            string_ratio, position, matching_above, matching_below,
-            empties_above, empties_below, length_above, length_below,
-            derived_coverage,
-        ])
-
+    # Content features
     # ------------------------------------------------------------------
     @staticmethod
-    def _closest_non_empty(
-        empty_line: list[bool], direction: int
-    ) -> list[int | None]:
-        """For each line, the index of the closest non-empty line in
-        ``direction`` (-1 above, +1 below), or ``None`` at the boundary."""
-        n = len(empty_line)
-        result: list[int | None] = [None] * n
-        last: int | None = None
-        order = range(n) if direction < 0 else range(n - 1, -1, -1)
-        for i in order:
-            result[i] = last
-            if not empty_line[i]:
-                last = i
+    def _empty_cell_ratio(
+        profile: TableProfile, n_cols: int
+    ) -> np.ndarray:
+        """Per-row ``1 - non_empty/n_cols`` (1.0 for zero-width tables)."""
+        if n_cols == 0:
+            return np.ones(profile.n_rows)
+        return 1.0 - profile.row_non_empty / n_cols
+
+    @staticmethod
+    def _discounted_cumulative_gain(profile: TableProfile) -> np.ndarray:
+        """Normalized DCG of each row's 0/1 emptiness vector.
+
+        ``cumsum`` accumulates left to right exactly like the scalar
+        reference (``repro.util.stats.discounted_cumulative_gain``).
+        """
+        n_cols = profile.n_cols
+        if n_cols == 0:
+            return np.zeros(profile.n_rows)
+        discounts = np.array(
+            [math.log2(position + 1) for position in range(1, n_cols + 1)]
+        )
+        relevance = profile.non_empty.astype(np.float64)
+        gains = np.cumsum(relevance / discounts, axis=1)[:, -1]
+        ideal = sum(
+            1.0 / math.log2(position + 1)
+            for position in range(1, n_cols + 1)
+        )
+        return gains / ideal if ideal > 0 else np.zeros(profile.n_rows)
+
+    @staticmethod
+    def _word_amount(profile: TableProfile) -> np.ndarray:
+        """Min-max-normalized per-row word counts."""
+        counts = profile.row_word_counts.astype(np.float64)
+        if counts.size == 0:
+            return counts
+        low = counts.min()
+        span = counts.max() - low
+        if span == 0:
+            return np.zeros_like(counts)
+        return (counts - low) / span
+
+    @staticmethod
+    def _type_ratios(
+        profile: TableProfile,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(numeric_ratio, string_ratio)`` per row over non-empty
+        cells; fully empty rows score 0.0 on both."""
+        non_empty = profile.row_non_empty
+        numeric = np.zeros(profile.n_rows)
+        strings = np.zeros(profile.n_rows)
+        np.divide(
+            profile.row_numeric, non_empty, out=numeric,
+            where=non_empty > 0,
+        )
+        np.divide(
+            profile.row_string, non_empty, out=strings,
+            where=non_empty > 0,
+        )
+        return numeric, strings
+
+    @staticmethod
+    def _line_position(n_rows: int) -> np.ndarray:
+        """Row index normalized to [0, 1] (0.0 for single-row tables)."""
+        if n_rows <= 1:
+            return np.zeros(n_rows)
+        return np.arange(n_rows) / (n_rows - 1)
+
+    # ------------------------------------------------------------------
+    # Contextual features
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _data_type_matching(
+        profile: TableProfile, neighbour: np.ndarray
+    ) -> np.ndarray:
+        """Share of columns whose data type matches the neighbour row
+        (0.0 where there is no neighbour)."""
+        result = np.zeros(profile.n_rows)
+        valid = neighbour >= 0
+        if profile.n_cols == 0 or not valid.any():
+            return result
+        grid = profile.dtype_grid
+        matches = (grid[valid] == grid[neighbour[valid]]).sum(axis=1)
+        result[valid] = matches / profile.n_cols
         return result
 
     @staticmethod
-    def _data_type_matching(
-        row_types: list[DataType],
-        types: list[list[DataType]],
-        neighbour: int | None,
-    ) -> float:
-        if neighbour is None:
-            return 0.0
-        other = types[neighbour]
-        matches = sum(1 for a, b in zip(row_types, other) if a == b)
-        return matches / len(row_types) if row_types else 0.0
-
-    @staticmethod
     def _empty_neighbor_ratio(
-        empty_line: list[bool], i: int, direction: int
-    ) -> float:
+        empty_line: np.ndarray, direction: int
+    ) -> np.ndarray:
         """Share of empty lines among the five lines above/below;
         positions beyond the file count as empty."""
-        empties = 0
-        for step in range(1, _NEIGHBOR_WINDOW + 1):
-            j = i + direction * step
-            if j < 0 or j >= len(empty_line) or empty_line[j]:
-                empties += 1
-        return empties / _NEIGHBOR_WINDOW
+        n_rows = len(empty_line)
+        window = _NEIGHBOR_WINDOW
+        padded = np.concatenate(
+            [
+                np.ones(window, dtype=np.int64),
+                empty_line.astype(np.int64),
+                np.ones(window, dtype=np.int64),
+            ]
+        )
+        sums = np.concatenate([[0], np.cumsum(padded)])
+        if direction < 0:
+            counts = sums[window : window + n_rows] - sums[:n_rows]
+        else:
+            counts = (
+                sums[2 * window + 1 : 2 * window + 1 + n_rows]
+                - sums[window + 1 : window + 1 + n_rows]
+            )
+        return counts / window
+
+    @staticmethod
+    def _length_histograms(profile: TableProfile) -> np.ndarray:
+        """``(n_rows, bins)`` histogram of stripped lengths of the
+        non-empty cells of each row (the reference geometry: 10 bins
+        over [0, 50), out-of-range clamped into boundary bins)."""
+        n_rows = profile.n_rows
+        histograms = np.zeros((n_rows, _LENGTH_BINS))
+        mask = profile.non_empty
+        if not mask.any():
+            return histograms
+        low, high = _LENGTH_RANGE
+        width = (high - low) / _LENGTH_BINS
+        lengths = profile.value_lengths.astype(np.float64)
+        bins = ((lengths - low) / width).astype(np.int64)
+        np.clip(bins, 0, _LENGTH_BINS - 1, out=bins)
+        rows = np.nonzero(mask)[0]
+        flat = rows * _LENGTH_BINS + bins[mask]
+        counts = np.bincount(flat, minlength=n_rows * _LENGTH_BINS)
+        return counts.reshape(n_rows, _LENGTH_BINS).astype(np.float64)
 
     @staticmethod
     def _cell_length_difference(
-        row: list[str], rows: list[list[str]], neighbour: int | None
-    ) -> float:
-        if neighbour is None:
-            return 1.0
-        lengths_here = [float(len(v.strip())) for v in row if v.strip()]
-        lengths_there = [
-            float(len(v.strip())) for v in rows[neighbour] if v.strip()
-        ]
-        hist_here = histogram(lengths_here, _LENGTH_BINS, *_LENGTH_RANGE)
-        hist_there = histogram(lengths_there, _LENGTH_BINS, *_LENGTH_RANGE)
-        return bhattacharyya_distance(hist_here, hist_there)
+        histograms: np.ndarray, neighbour: np.ndarray
+    ) -> np.ndarray:
+        """Bhattacharyya distance between each row's length histogram
+        and its neighbour's (1.0 where there is no neighbour)."""
+        n_rows = histograms.shape[0]
+        result = np.ones(n_rows)
+        valid = np.nonzero(neighbour >= 0)[0]
+        if valid.size == 0:
+            return result
+        here = histograms[valid]
+        there = histograms[neighbour[valid]]
+        total_here = here.sum(axis=1)
+        total_there = there.sum(axis=1)
+        both_zero = (total_here == 0) & (total_there == 0)
+        one_zero = (total_here == 0) ^ (total_there == 0)
+        distances = np.ones(valid.size)
+        distances[both_zero] = 0.0
+        live = np.nonzero(~(both_zero | one_zero))[0]
+        if live.size:
+            # Per-term ops mirror the scalar reference exactly:
+            # sqrt((p / total_p) * (q / total_q)), summed left to
+            # right via cumsum.
+            p = here[live] / total_here[live, None]
+            q = there[live] / total_there[live, None]
+            coefficients = np.cumsum(np.sqrt(p * q), axis=1)[:, -1]
+            coefficients = np.minimum(1.0, np.maximum(0.0, coefficients))
+            distances[live] = 1.0 - coefficients
+        result[valid] = distances
+        return result
+
+    # ------------------------------------------------------------------
+    # Computational feature
+    # ------------------------------------------------------------------
+    def _derived_coverage(
+        self, table: Table, profile: TableProfile
+    ) -> np.ndarray:
+        """Share of each row's numeric cells detected as derived
+        (0.0 for rows without numeric cells)."""
+        derived_mask = np.zeros(profile.shape, dtype=bool)
+        for i, j in self.detector.detect(table):
+            derived_mask[i, j] = True
+        derived_counts = (derived_mask & profile.numeric_mask).sum(axis=1)
+        numeric = profile.row_numeric
+        coverage = np.zeros(profile.n_rows)
+        np.divide(
+            derived_counts, numeric, out=coverage, where=numeric > 0
+        )
+        return coverage
 
     # ------------------------------------------------------------------
     @staticmethod
     def _global_features(
-        empty_line: list[bool], n_rows: int, n_cols: int
+        empty_line: np.ndarray, n_rows: int, n_cols: int
     ) -> np.ndarray:
         """The paper's rejected file-level features (ablation S2)."""
-        empty_ratio = sum(empty_line) / n_rows if n_rows else 0.0
+        empty_ratio = int(empty_line.sum()) / n_rows if n_rows else 0.0
         # Width and length squashed to [0, 1] with a soft saturation.
         width = n_cols / (n_cols + 25.0)
         length = n_rows / (n_rows + 100.0)
-        blocks = 0
-        previous = False
-        for is_empty in empty_line:
-            if is_empty and not previous:
-                blocks += 1
-            previous = is_empty
+        starts = empty_line.copy()
+        starts[1:] &= ~empty_line[:-1]
+        blocks = int(starts.sum())
         block_count = blocks / (blocks + 5.0)
         return np.array([empty_ratio, width, length, block_count])
+
+
+def _closest_non_empty(
+    empty_line: np.ndarray, direction: int
+) -> np.ndarray:
+    """For each line, the index of the closest non-empty line in
+    ``direction`` (-1 above, +1 below), or ``-1`` at the boundary."""
+    n_rows = len(empty_line)
+    indices = np.arange(n_rows)
+    marked = np.where(~empty_line, indices, -1)
+    if direction < 0:
+        shifted = np.concatenate([[-1], marked[:-1]])
+        return np.maximum.accumulate(shifted)
+    marked = np.where(~empty_line, indices, n_rows)
+    shifted = np.concatenate([marked[1:], [n_rows]])
+    below = np.minimum.accumulate(shifted[::-1])[::-1]
+    return np.where(below < n_rows, below, -1)

@@ -40,7 +40,8 @@ from repro.dialect.dialect import Dialect
 from repro.errors import ConfigurationError, NotFittedError
 from repro.io.cropping import crop_table
 from repro.parsing import parse_csv_text
-from repro.perf.cache import FeatureCache, array_hash, table_content_hash
+from repro.core.profile import table_profile
+from repro.perf.cache import FeatureCache, array_hash
 from repro.perf.parallel import parallel_map
 from repro.types import (
     CLASS_TO_INDEX,
@@ -202,7 +203,9 @@ class StrudelLineClassifier:
         if self._feature_cache is None:
             return self.extractor.extract(table)
         key = FeatureCache.make_key(
-            "line", self.extractor.cache_key, table_content_hash(table)
+            "line",
+            self.extractor.cache_key,
+            table_profile(table).content_hash,
         )
         (features,) = self._feature_cache.get_or_compute(
             key, lambda: (self.extractor.extract(table),)
@@ -381,7 +384,7 @@ class StrudelCellClassifier:
         key = FeatureCache.make_key(
             "cell",
             self.extractor.cache_key,
-            table_content_hash(table),
+            table_profile(table).content_hash,
             array_hash(probabilities),
         )
         positions_array, features = self._feature_cache.get_or_compute(

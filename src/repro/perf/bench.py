@@ -21,6 +21,15 @@ parallelism must never change a number.
 Results are written to ``BENCH_pipeline.json`` (schema
 ``repro-bench/1``) so CI can archive one point per commit; see
 ``docs/performance.md`` for how to read the trajectory.
+
+A saved report doubles as a **baseline**: :func:`diff_reports`
+compares a fresh run against it metric by metric (stage seconds,
+analyze variants, CV timings) and flags any timing that regressed by
+more than a tolerance (default 25%).  ``repro bench --baseline`` wires
+this into CI so a perf regression fails the build the same way a
+broken test does.  Reports are only comparable when their workload
+configuration matches — :func:`configs_comparable` guards against
+diffing a ``--quick`` run against a full one.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.profile import table_profile
 from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import make_corpus
 from repro.datagen.filegen import generate_file
@@ -139,6 +149,13 @@ def _stage_breakdown(
     rows = parse_csv_text(text, dialect)
     table = crop_table(Table(rows if rows else [[""]]))
     stages["parsing"] = time.perf_counter() - start
+
+    # The compute-once columnar primitives every extractor shares;
+    # timing materialization here leaves the feature stages measuring
+    # pure consumption of the profile.
+    start = time.perf_counter()
+    table_profile(table).materialize()
+    stages["profile"] = time.perf_counter() - start
 
     start = time.perf_counter()
     line_features = pipeline.line_classifier.extractor.extract(table)
@@ -273,6 +290,127 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
         },
         "cv": cv,
     }
+
+
+#: Config fields that must match for two reports to be comparable —
+#: everything that shapes the workload.  ``n_jobs`` is excluded: the
+#: worker count is a machine knob, and results never depend on it.
+_COMPARABLE_CONFIG_KEYS: tuple[str, ...] = (
+    "corpus", "scale", "trees", "rows", "repeats",
+    "cv_splits", "cv_repeats", "cv_trees", "seed", "quick",
+)
+
+#: Default regression tolerance for :func:`diff_reports`: a timing
+#: more than 25% above the baseline fails the diff.
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a saved benchmark report, validating its schema tag."""
+    report = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = report.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported benchmark schema {schema!r} in {path} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    return report
+
+
+def configs_comparable(current: dict, baseline: dict) -> bool:
+    """Whether two reports ran the same workload (see
+    :data:`_COMPARABLE_CONFIG_KEYS`)."""
+    a, b = current.get("config", {}), baseline.get("config", {})
+    return all(a.get(key) == b.get(key) for key in _COMPARABLE_CONFIG_KEYS)
+
+
+def _timing_metrics(report: dict) -> dict[str, float]:
+    """Flat ``metric name -> seconds`` view of a report's timings."""
+    metrics: dict[str, float] = {"fit_seconds": report["fit_seconds"]}
+    for stage, seconds in report["stages"].items():
+        metrics[f"stages.{stage}"] = seconds
+    analyze = report["analyze"]
+    for key in (
+        "legacy_two_pass_seconds", "single_pass_seconds", "cached_seconds"
+    ):
+        metrics[f"analyze.{key}"] = analyze[key]
+    cv = report["cv"]
+    for key in ("uncached_seconds", "cached_seconds"):
+        metrics[f"cv.{key}"] = cv[key]
+    return metrics
+
+
+def diff_reports(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict:
+    """Metric-by-metric comparison of two comparable reports.
+
+    Returns a dict with one entry per shared timing metric (baseline
+    seconds, current seconds, and the ratio ``current/baseline``), the
+    list of metrics that regressed beyond ``tolerance``, and the
+    tolerance used.  Metrics present in only one report (e.g. a stage
+    added after the baseline was recorded) are listed separately and
+    never gate.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    current_metrics = _timing_metrics(current)
+    baseline_metrics = _timing_metrics(baseline)
+    shared = [m for m in baseline_metrics if m in current_metrics]
+    entries = {}
+    regressions = []
+    for metric in shared:
+        before = baseline_metrics[metric]
+        after = current_metrics[metric]
+        ratio = after / before if before > 0 else float("inf")
+        regressed = bool(after > before * (1.0 + tolerance))
+        entries[metric] = {
+            "baseline_seconds": before,
+            "current_seconds": after,
+            "ratio": ratio,
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(metric)
+    return {
+        "tolerance": tolerance,
+        "metrics": entries,
+        "regressions": regressions,
+        "only_in_current": sorted(
+            m for m in current_metrics if m not in baseline_metrics
+        ),
+        "only_in_baseline": sorted(
+            m for m in baseline_metrics if m not in current_metrics
+        ),
+    }
+
+
+def format_diff(diff: dict) -> str:
+    """Human-readable per-metric delta table for terminal output."""
+    lines = [
+        f"baseline comparison (tolerance {diff['tolerance']:.0%}):"
+    ]
+    for metric, entry in diff["metrics"].items():
+        marker = "REGRESSED" if entry["regressed"] else ""
+        lines.append(
+            f"  {metric:<32} {entry['baseline_seconds']:>8.3f}s ->"
+            f" {entry['current_seconds']:>8.3f}s"
+            f"  ({entry['ratio']:.2f}x) {marker}".rstrip()
+        )
+    for metric in diff["only_in_current"]:
+        lines.append(f"  {metric:<32} (new metric, not gated)")
+    for metric in diff["only_in_baseline"]:
+        lines.append(f"  {metric:<32} (absent from this run)")
+    if diff["regressions"]:
+        lines.append(
+            f"{len(diff['regressions'])} metric(s) regressed beyond "
+            f"tolerance: {', '.join(diff['regressions'])}"
+        )
+    else:
+        lines.append("no regressions beyond tolerance")
+    return "\n".join(lines)
 
 
 def write_report(report: dict, path: str | Path) -> Path:

@@ -113,7 +113,7 @@ class Table:
     after construction is unsupported.
     """
 
-    __slots__ = ("_rows", "_n_cols")
+    __slots__ = ("_rows", "_n_cols", "_profile")
 
     def __init__(self, rows: Sequence[Sequence[str]]):
         width = max((len(r) for r in rows), default=0)
@@ -121,6 +121,11 @@ class Table:
             list(r) + [""] * (width - len(r)) for r in rows
         ]
         self._n_cols = width
+        # Lazily-attached columnar profile (see repro.core.profile).
+        # ``types`` sits below ``core`` in the layer DAG, so the slot
+        # is declared here but only ever populated by
+        # ``repro.core.profile.table_profile``.
+        self._profile: object | None = None
 
     # ------------------------------------------------------------------
     # Shape

@@ -17,7 +17,11 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.model_selection import attach_feature_cache
 from repro.perf.bench import (
     BenchConfig,
+    configs_comparable,
+    diff_reports,
+    format_diff,
     format_summary,
+    load_report,
     run_benchmark,
     write_report,
 )
@@ -298,3 +302,105 @@ def test_run_benchmark_smoke(tmp_path):
     summary = format_summary(report)
     assert "single-pass + cache" in summary
     assert "byte-identical" in summary
+
+    assert "profile" in report["stages"]
+
+    # The saved report round-trips as a baseline for itself: same
+    # numbers, so no metric can regress at any tolerance.
+    baseline = load_report(path)
+    assert configs_comparable(report, baseline)
+    diff = diff_reports(report, baseline, tolerance=0.0)
+    assert diff["regressions"] == []
+    assert "stages.profile" in diff["metrics"]
+    assert "no regressions" in format_diff(diff)
+
+
+# ----------------------------------------------------------------------
+# Baseline diff mode
+# ----------------------------------------------------------------------
+def _fake_report(**overrides) -> dict:
+    report = {
+        "schema": "repro-bench/1",
+        "config": {
+            "corpus": "saus", "scale": 0.06, "trees": 10, "rows": 200,
+            "repeats": 2, "cv_splits": 2, "cv_repeats": 1, "cv_trees": 6,
+            "seed": 0, "n_jobs": 1, "quick": True,
+        },
+        "fit_seconds": 1.0,
+        "stages": {
+            "dialect_detection": 0.01,
+            "parsing": 0.02,
+            "profile": 0.03,
+            "line_features": 0.04,
+            "cell_features": 0.05,
+        },
+        "analyze": {
+            "legacy_two_pass_seconds": 0.3,
+            "single_pass_seconds": 0.2,
+            "cached_seconds": 0.05,
+        },
+        "cv": {"uncached_seconds": 0.8, "cached_seconds": 0.5},
+    }
+    report.update(overrides)
+    return report
+
+
+def test_diff_reports_flags_regressions_beyond_tolerance():
+    baseline = _fake_report()
+    current = _fake_report(fit_seconds=1.2)  # +20%: inside 25%
+    diff = diff_reports(current, baseline)
+    assert diff["regressions"] == []
+
+    current = _fake_report(fit_seconds=1.3)  # +30%: beyond 25%
+    diff = diff_reports(current, baseline)
+    assert diff["regressions"] == ["fit_seconds"]
+    assert diff["metrics"]["fit_seconds"]["regressed"] is True
+    assert "REGRESSED" in format_diff(diff)
+
+
+def test_diff_reports_improvements_never_gate():
+    baseline = _fake_report()
+    current = _fake_report(
+        stages={
+            "dialect_detection": 0.01,
+            "parsing": 0.02,
+            "profile": 0.01,
+            "line_features": 0.001,
+            "cell_features": 0.002,
+        }
+    )
+    diff = diff_reports(current, baseline)
+    assert diff["regressions"] == []
+    assert diff["metrics"]["stages.line_features"]["ratio"] < 0.1
+
+
+def test_diff_reports_new_and_missing_metrics_not_gated():
+    baseline = _fake_report()
+    del baseline["stages"]["profile"]
+    current = _fake_report()
+    del current["stages"]["parsing"]
+    diff = diff_reports(current, baseline)
+    assert diff["only_in_current"] == ["stages.profile"]
+    assert diff["only_in_baseline"] == ["stages.parsing"]
+    assert diff["regressions"] == []
+
+
+def test_diff_reports_rejects_negative_tolerance():
+    with pytest.raises(ValueError):
+        diff_reports(_fake_report(), _fake_report(), tolerance=-0.1)
+
+
+def test_configs_comparable_ignores_jobs_but_not_workload():
+    a = _fake_report()
+    b = _fake_report()
+    b["config"]["n_jobs"] = 8
+    assert configs_comparable(a, b)
+    b["config"]["rows"] = 400
+    assert not configs_comparable(a, b)
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "report.json"
+    path.write_text('{"schema": "other/9"}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_report(path)

@@ -1,0 +1,634 @@
+"""Byte-identical parity between the columnar profile and the legacy
+per-extractor implementations.
+
+The ``TableProfile`` rewiring (``repro.core.profile``) is a pure
+performance change: every consumer must produce *exactly* the output
+of its original per-cell Python implementation.  This module keeps
+those original implementations alive as references — the line feature
+loop, the cell feature loop, the per-cell ``numeric_grid``, the DFS of
+Algorithm 1 and the table-scanning anchor enumeration of Algorithm 2 —
+and pins equality down to the byte level (``ndarray.tobytes()``), not
+just ``allclose``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import block_sizes, normalized_block_sizes
+from repro.core.cell_features import (
+    _NEIGHBOR_OFFSETS,
+    CELL_FEATURE_NAMES,
+    CellFeatureExtractor,
+)
+from repro.core.datatypes import infer_data_type, is_numeric_type, parse_number
+from repro.core.derived import DerivedDetector, numeric_grid
+from repro.core.keywords import (
+    contains_aggregation_keyword,
+    line_contains_aggregation_keyword,
+)
+from repro.core.line_features import (
+    _LENGTH_BINS,
+    _LENGTH_RANGE,
+    _NEIGHBOR_WINDOW,
+    LineFeatureExtractor,
+)
+from repro.core.profile import table_profile
+from repro.datagen import make_corpus
+from repro.types import CONTENT_CLASSES, DataType, MISSING_NEIGHBOR, Table
+from repro.util.stats import (
+    bhattacharyya_distance,
+    discounted_cumulative_gain,
+    histogram,
+    min_max_normalize,
+)
+from repro.util.text import count_words
+
+# ----------------------------------------------------------------------
+# Legacy reference implementations (the pre-profile code, verbatim
+# modulo plumbing).  These run in O(cells) Python and exist only to
+# pin the vectorized paths.
+# ----------------------------------------------------------------------
+
+
+def legacy_numeric_grid(table: Table) -> np.ndarray:
+    grid = np.full(table.shape, np.nan, dtype=np.float64)
+    for i, row in enumerate(table.rows()):
+        for j, value in enumerate(row):
+            number = parse_number(value)
+            if number is not None:
+                grid[i, j] = number
+    return grid
+
+
+def legacy_block_sizes(table: Table) -> dict[tuple[int, int], int]:
+    """The published Algorithm 1: iterative DFS over non-empty cells."""
+    non_empty = {(cell.row, cell.col) for cell in table.non_empty_cells()}
+    sizes: dict[tuple[int, int], int] = {}
+    visited: set[tuple[int, int]] = set()
+    for start in non_empty:
+        if start in visited:
+            continue
+        component: list[tuple[int, int]] = []
+        stack = [start]
+        visited.add(start)
+        while stack:
+            row, col = stack.pop()
+            component.append((row, col))
+            for neighbour in (
+                (row - 1, col),
+                (row + 1, col),
+                (row, col - 1),
+                (row, col + 1),
+            ):
+                if neighbour in non_empty and neighbour not in visited:
+                    visited.add(neighbour)
+                    stack.append(neighbour)
+        size = len(component)
+        for position in component:
+            sizes[position] = size
+    return sizes
+
+
+def legacy_detect(detector: DerivedDetector, table: Table) -> set:
+    """The pre-profile ``DerivedDetector.detect``: per-cell grid and a
+    table-scanning anchor enumeration, feeding the (unchanged) scan
+    internals."""
+    grid = legacy_numeric_grid(table)
+    if detector.anchor_mode == "keyword":
+        anchors = [
+            (cell.row, cell.col)
+            for cell in table.non_empty_cells()
+            if contains_aggregation_keyword(cell.value)
+        ]
+    else:
+        anchors = [
+            (int(i), 0)
+            for i in np.nonzero((~np.isnan(grid)).any(axis=1))[0]
+        ] + [
+            (0, int(j))
+            for j in np.nonzero((~np.isnan(grid)).any(axis=0))[0]
+        ]
+    detected: set[tuple[int, int]] = set()
+    checked_rows: set[int] = set()
+    checked_cols: set[int] = set()
+    for row, col in anchors:
+        if row not in checked_rows:
+            checked_rows.add(row)
+            if detector._row_is_derived(grid, row):
+                detected.update(
+                    (row, j) for j in np.nonzero(~np.isnan(grid[row]))[0]
+                )
+        if col not in checked_cols:
+            checked_cols.add(col)
+            if detector._column_is_derived(grid, col):
+                detected.update(
+                    (int(i), col)
+                    for i in np.nonzero(~np.isnan(grid[:, col]))[0]
+                )
+    return detected
+
+
+class LegacyLineFeatureExtractor:
+    """The pre-profile per-line extraction loop, ported verbatim."""
+
+    def __init__(self, detector=None, include_global_features=False):
+        self.detector = detector or DerivedDetector()
+        self.include_global_features = include_global_features
+
+    @property
+    def n_features(self):
+        return 18 if self.include_global_features else 14
+
+    def extract(self, table: Table) -> np.ndarray:
+        n_rows, n_cols = table.shape
+        rows = list(table.rows())
+        types = [[infer_data_type(value) for value in row] for row in rows]
+        empty_line = [table.is_empty_row(i) for i in range(n_rows)]
+        derived_cells = legacy_detect(self.detector, table)
+        word_counts = [
+            float(sum(count_words(value) for value in row)) for row in rows
+        ]
+        word_normalized = min_max_normalize(word_counts)
+        above = self._closest_non_empty(empty_line, direction=-1)
+        below = self._closest_non_empty(empty_line, direction=+1)
+
+        features = np.zeros((n_rows, self.n_features))
+        for i in range(n_rows):
+            features[i, :14] = self._line_features(
+                i, rows, types, empty_line, derived_cells,
+                word_normalized[i], above[i], below[i], n_rows, n_cols,
+            )
+        if self.include_global_features:
+            features[:, 14:] = self._global_features(
+                empty_line, n_rows, n_cols
+            )
+        return features
+
+    def _line_features(
+        self, i, rows, types, empty_line, derived_cells, word_amount,
+        above, below, n_rows, n_cols,
+    ) -> np.ndarray:
+        row = rows[i]
+        row_types = types[i]
+        non_empty = [
+            j for j, t in enumerate(row_types) if t is not DataType.EMPTY
+        ]
+        n_non_empty = len(non_empty)
+
+        empty_ratio = 1.0 - n_non_empty / n_cols if n_cols else 1.0
+        dcg = discounted_cumulative_gain(
+            [0.0 if t is DataType.EMPTY else 1.0 for t in row_types]
+        )
+        aggregation = 1.0 if line_contains_aggregation_keyword(row) else 0.0
+        numeric = sum(1 for j in non_empty if is_numeric_type(row_types[j]))
+        strings = sum(
+            1 for j in non_empty if row_types[j] is DataType.STRING
+        )
+        numeric_ratio = numeric / n_non_empty if n_non_empty else 0.0
+        string_ratio = strings / n_non_empty if n_non_empty else 0.0
+        position = i / (n_rows - 1) if n_rows > 1 else 0.0
+
+        matching_above = self._data_type_matching(row_types, types, above)
+        matching_below = self._data_type_matching(row_types, types, below)
+        empties_above = self._empty_neighbor_ratio(empty_line, i, -1)
+        empties_below = self._empty_neighbor_ratio(empty_line, i, +1)
+        length_above = self._cell_length_difference(row, rows, above)
+        length_below = self._cell_length_difference(row, rows, below)
+
+        derived_in_line = sum(
+            1
+            for j in non_empty
+            if is_numeric_type(row_types[j]) and (i, j) in derived_cells
+        )
+        derived_coverage = derived_in_line / numeric if numeric else 0.0
+
+        return np.array([
+            empty_ratio, dcg, aggregation, word_amount, numeric_ratio,
+            string_ratio, position, matching_above, matching_below,
+            empties_above, empties_below, length_above, length_below,
+            derived_coverage,
+        ])
+
+    @staticmethod
+    def _closest_non_empty(empty_line, direction):
+        n = len(empty_line)
+        result: list[int | None] = [None] * n
+        last: int | None = None
+        order = range(n) if direction < 0 else range(n - 1, -1, -1)
+        for i in order:
+            result[i] = last
+            if not empty_line[i]:
+                last = i
+        return result
+
+    @staticmethod
+    def _data_type_matching(row_types, types, neighbour):
+        if neighbour is None:
+            return 0.0
+        other = types[neighbour]
+        matches = sum(1 for a, b in zip(row_types, other) if a == b)
+        return matches / len(row_types) if row_types else 0.0
+
+    @staticmethod
+    def _empty_neighbor_ratio(empty_line, i, direction):
+        empties = 0
+        for step in range(1, _NEIGHBOR_WINDOW + 1):
+            j = i + direction * step
+            if j < 0 or j >= len(empty_line) or empty_line[j]:
+                empties += 1
+        return empties / _NEIGHBOR_WINDOW
+
+    @staticmethod
+    def _cell_length_difference(row, rows, neighbour):
+        if neighbour is None:
+            return 1.0
+        lengths_here = [float(len(v.strip())) for v in row if v.strip()]
+        lengths_there = [
+            float(len(v.strip())) for v in rows[neighbour] if v.strip()
+        ]
+        hist_here = histogram(lengths_here, _LENGTH_BINS, *_LENGTH_RANGE)
+        hist_there = histogram(lengths_there, _LENGTH_BINS, *_LENGTH_RANGE)
+        return bhattacharyya_distance(hist_here, hist_there)
+
+    @staticmethod
+    def _global_features(empty_line, n_rows, n_cols):
+        empty_ratio = sum(empty_line) / n_rows if n_rows else 0.0
+        width = n_cols / (n_cols + 25.0)
+        length = n_rows / (n_rows + 100.0)
+        blocks = 0
+        previous = False
+        for is_empty in empty_line:
+            if is_empty and not previous:
+                blocks += 1
+            previous = is_empty
+        block_count = blocks / (blocks + 5.0)
+        return np.array([empty_ratio, width, length, block_count])
+
+
+class LegacyCellFeatureExtractor:
+    """The pre-profile per-cell extraction loop, ported verbatim."""
+
+    def __init__(self, detector=None):
+        self.detector = detector or DerivedDetector()
+
+    def extract(self, table: Table, line_probabilities=None):
+        n_rows, n_cols = table.shape
+        if line_probabilities is None:
+            line_probabilities = np.full(
+                (n_rows, len(CONTENT_CLASSES)), 1.0 / len(CONTENT_CLASSES)
+            )
+        rows = list(table.rows())
+        # reshape keeps degenerate (0, n) / (n, 0) tables two-dimensional.
+        types = np.array(
+            [[int(infer_data_type(v)) for v in row] for row in rows],
+            dtype=np.float64,
+        ).reshape(n_rows, n_cols)
+        lengths = np.array(
+            [[float(len(v.strip())) for v in row] for row in rows],
+            dtype=np.float64,
+        ).reshape(n_rows, n_cols)
+        max_length = lengths.max() if lengths.size else 1.0
+        if max_length <= 0:
+            max_length = 1.0
+        norm_lengths = lengths / max_length
+
+        empty = types == float(DataType.EMPTY)
+        empty_row = empty.all(axis=1)
+        empty_col = empty.all(axis=0)
+        # Degenerate zero-row/zero-col tables make these means warn
+        # (NaN result); the loop below never reads those entries.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            row_empty_ratio = empty.mean(axis=1)
+            col_empty_ratio = empty.mean(axis=0)
+
+        keyword = np.zeros((n_rows, n_cols), dtype=bool)
+        for i, row in enumerate(rows):
+            for j, value in enumerate(row):
+                if value.strip() and contains_aggregation_keyword(value):
+                    keyword[i, j] = True
+        row_keyword = keyword.any(axis=1)
+        col_keyword = keyword.any(axis=0)
+
+        total = n_rows * n_cols
+        blocks = {
+            position: size / total
+            for position, size in legacy_block_sizes(table).items()
+        }
+        derived = legacy_detect(self.detector, table)
+
+        positions: list[tuple[int, int]] = []
+        feature_rows: list[np.ndarray] = []
+        for cell in table.non_empty_cells():
+            i, j = cell.row, cell.col
+            positions.append((i, j))
+            content = [
+                norm_lengths[i, j],
+                types[i, j],
+                1.0 if keyword[i, j] else 0.0,
+                1.0 if row_keyword[i] else 0.0,
+                1.0 if col_keyword[j] else 0.0,
+                i / (n_rows - 1) if n_rows > 1 else 0.0,
+                j / (n_cols - 1) if n_cols > 1 else 0.0,
+            ]
+            content.extend(float(p) for p in line_probabilities[i])
+            contextual = [
+                1.0 if (i == 0 or empty_row[i - 1]) else 0.0,
+                1.0 if (i == n_rows - 1 or empty_row[i + 1]) else 0.0,
+                1.0 if (j == 0 or empty_col[j - 1]) else 0.0,
+                1.0 if (j == n_cols - 1 or empty_col[j + 1]) else 0.0,
+                float(row_empty_ratio[i]),
+                float(col_empty_ratio[j]),
+                blocks.get((i, j), 0.0),
+            ]
+            neighbor_lengths = []
+            neighbor_types = []
+            for di, dj in _NEIGHBOR_OFFSETS:
+                ni, nj = i + di, j + dj
+                if 0 <= ni < n_rows and 0 <= nj < n_cols:
+                    neighbor_lengths.append(float(norm_lengths[ni, nj]))
+                    neighbor_types.append(float(types[ni, nj]))
+                else:
+                    neighbor_lengths.append(float(MISSING_NEIGHBOR))
+                    neighbor_types.append(float(MISSING_NEIGHBOR))
+            computational = [1.0 if (i, j) in derived else 0.0]
+            feature_rows.append(
+                np.array(
+                    content + contextual + neighbor_lengths
+                    + neighbor_types + computational
+                )
+            )
+        if feature_rows:
+            return positions, np.vstack(feature_rows)
+        return positions, np.zeros((0, len(CELL_FEATURE_NAMES)))
+
+
+# ----------------------------------------------------------------------
+# Tables under test
+# ----------------------------------------------------------------------
+
+EDGE_TABLES: dict[str, Table] = {
+    "empty": Table([]),
+    "zero_width": Table([[], []]),
+    "single_cell": Table([["42"]]),
+    "single_empty_cell": Table([[" "]]),
+    "all_empty": Table([["", "  "], ["", ""]]),
+    "one_row": Table([["a", "", "3.5", "Total", "2019-01-02"]]),
+    "one_col": Table([["x"], [""], ["1"], [""], ["sum"]]),
+    "checkerboard": Table(
+        [["x" if (i + j) % 2 == 0 else "" for j in range(7)]
+         for i in range(6)]
+    ),
+    "u_shape": Table(
+        [
+            ["a", "", "b"],
+            ["c", "", "d"],
+            ["e", "f", "g"],
+        ]
+    ),
+    "spiral": Table(
+        [
+            ["1", "1", "1", "1"],
+            ["", "", "", "1"],
+            ["1", "1", "", "1"],
+            ["1", "", "", "1"],
+            ["1", "1", "1", "1"],
+        ]
+    ),
+    "totals": Table(
+        [
+            ["Region", "Q1", "Q2", ""],
+            ["north", "10", "20", ""],
+            ["south", "30", "40", ""],
+            ["Total", "40", "60", ""],
+            ["", "", "", ""],
+            ["note: units in k$", "", "", ""],
+        ]
+    ),
+    "wide_types": Table(
+        [
+            ["1,234", "-5.5", "1e3", "(200)", "45%", "$9"],
+            ["2019-01-02", "3 Mar 2020", "text", "", "0", "100.0"],
+        ]
+    ),
+}
+
+
+def corpus_tables(name: str, scale: float = 0.02) -> list[Table]:
+    return [file.table for file in make_corpus(name, seed=0, scale=scale).files]
+
+
+ALL_TABLES: list[tuple[str, Table]] = list(EDGE_TABLES.items()) + [
+    (f"{name}-{index}", table)
+    for name in ("govuk", "saus", "deex", "mendeley")
+    for index, table in enumerate(corpus_tables(name))
+]
+
+
+def fresh(table: Table) -> Table:
+    """A copy of ``table`` with no memoized profile, so each reference
+    comparison starts cold."""
+    return Table([list(row) for row in table.rows()])
+
+
+# ----------------------------------------------------------------------
+# Parity tests
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "table", [t for _, t in ALL_TABLES], ids=[n for n, _ in ALL_TABLES]
+)
+class TestParity:
+    def test_line_features_byte_identical(self, table):
+        legacy = LegacyLineFeatureExtractor().extract(table)
+        new = LineFeatureExtractor().extract(fresh(table))
+        assert legacy.shape == new.shape
+        assert legacy.tobytes() == new.tobytes()
+
+    def test_line_features_with_globals_byte_identical(self, table):
+        legacy = LegacyLineFeatureExtractor(
+            include_global_features=True
+        ).extract(table)
+        new = LineFeatureExtractor(include_global_features=True).extract(
+            fresh(table)
+        )
+        assert legacy.tobytes() == new.tobytes()
+
+    def test_cell_features_byte_identical(self, table):
+        legacy_positions, legacy = LegacyCellFeatureExtractor().extract(table)
+        positions, new = CellFeatureExtractor().extract(fresh(table))
+        assert positions == legacy_positions
+        assert legacy.shape == new.shape
+        assert legacy.tobytes() == new.tobytes()
+
+    def test_cell_features_with_probabilities(self, table):
+        rng = np.random.default_rng(7)
+        probabilities = rng.random((table.n_rows, len(CONTENT_CLASSES)))
+        legacy_positions, legacy = LegacyCellFeatureExtractor().extract(
+            table, probabilities
+        )
+        positions, new = CellFeatureExtractor().extract(
+            fresh(table), probabilities
+        )
+        assert positions == legacy_positions
+        assert legacy.tobytes() == new.tobytes()
+
+    def test_numeric_grid_byte_identical(self, table):
+        legacy = legacy_numeric_grid(table)
+        new = numeric_grid(fresh(table))
+        assert legacy.tobytes() == new.tobytes()
+
+    def test_block_sizes_identical(self, table):
+        assert block_sizes(fresh(table)) == legacy_block_sizes(table)
+
+    def test_normalized_block_sizes_identical(self, table):
+        total = table.n_rows * table.n_cols
+        expected = (
+            {
+                position: size / total
+                for position, size in legacy_block_sizes(table).items()
+            }
+            if total
+            else {}
+        )
+        assert normalized_block_sizes(fresh(table)) == expected
+
+    def test_derived_detection_identical(self, table):
+        detector = DerivedDetector()
+        legacy = {(int(i), int(j)) for i, j in legacy_detect(detector, table)}
+        new = {
+            (int(i), int(j)) for i, j in detector.detect(fresh(table))
+        }
+        assert new == legacy
+
+    def test_derived_detection_exhaustive_identical(self, table):
+        detector = DerivedDetector(anchor_mode="exhaustive")
+        legacy = {(int(i), int(j)) for i, j in legacy_detect(detector, table)}
+        new = {
+            (int(i), int(j)) for i, j in detector.detect(fresh(table))
+        }
+        assert new == legacy
+
+
+# ----------------------------------------------------------------------
+# Profile unit behaviour
+# ----------------------------------------------------------------------
+
+
+class TestProfileGrids:
+    @pytest.mark.parametrize(
+        "table", [t for _, t in ALL_TABLES], ids=[n for n, _ in ALL_TABLES]
+    )
+    def test_dtype_grid_matches_per_cell_inference(self, table):
+        profile = table_profile(fresh(table))
+        for i, row in enumerate(table.rows()):
+            for j, value in enumerate(row):
+                assert profile.dtype_grid[i, j] == int(
+                    infer_data_type(value)
+                ), (i, j, value)
+
+    @pytest.mark.parametrize(
+        "table", [t for _, t in ALL_TABLES], ids=[n for n, _ in ALL_TABLES]
+    )
+    def test_value_lengths_and_words(self, table):
+        profile = table_profile(fresh(table))
+        for i, row in enumerate(table.rows()):
+            for j, value in enumerate(row):
+                assert profile.value_lengths[i, j] == float(
+                    len(value.strip())
+                )
+                assert profile.word_counts[i, j] == count_words(value)
+                assert profile.keyword_mask[i, j] == (
+                    contains_aggregation_keyword(value)
+                )
+
+    def test_block_labels_partition_matches_dfs_components(self):
+        table = EDGE_TABLES["spiral"]
+        profile = table_profile(fresh(table))
+        labels = profile.block_labels
+        sizes = legacy_block_sizes(table)
+        # Two cells share a label exactly when the DFS puts them in one
+        # component (component = set of positions with the same size
+        # *and* connectivity; check via representative flood fill).
+        by_label: dict[int, set[tuple[int, int]]] = {}
+        for i, j in zip(*np.nonzero(profile.non_empty)):
+            by_label.setdefault(int(labels[i, j]), set()).add(
+                (int(i), int(j))
+            )
+        for component in by_label.values():
+            size = len(component)
+            assert all(sizes[cell] == size for cell in component)
+        assert sum(len(c) for c in by_label.values()) == len(sizes)
+
+    def test_empty_cells_labeled_minus_one(self):
+        profile = table_profile(Table([["a", ""], ["", "b"]]))
+        assert profile.block_labels[0, 1] == -1
+        assert profile.block_size_grid[0, 1] == 0
+
+
+class TestProfileMemoization:
+    def test_profile_memoized_on_table(self):
+        table = Table([["a", "1"]])
+        assert table_profile(table) is table_profile(table)
+
+    def test_profiles_are_per_table(self):
+        a, b = Table([["a"]]), Table([["a"]])
+        assert table_profile(a) is not table_profile(b)
+
+    def test_derived_memo_shared_between_equal_configs(self):
+        table = Table(
+            [["Total", "3", "4"], ["x", "1", "2"], ["y", "2", "2"]]
+        )
+        profile = table_profile(table)
+        first = DerivedDetector()
+        second = DerivedDetector()
+        assert first.cache_key == second.cache_key
+        assert profile.derived_cells(first) is profile.derived_cells(second)
+
+    def test_derived_memo_distinct_configs(self):
+        table = Table([["Total", "3"], ["x", "1"], ["y", "2"]])
+        profile = table_profile(table)
+        default = profile.derived_cells(DerivedDetector())
+        relaxed = profile.derived_cells(DerivedDetector(delta=5.0))
+        assert default is not relaxed
+
+    def test_content_hash_matches_cache_helper(self):
+        from repro.perf.cache import table_content_hash
+
+        table = Table([["a", "1"], ["", "x"]])
+        assert table_profile(table).content_hash == table_content_hash(table)
+
+    def test_materialize_returns_self(self):
+        table = Table([["a", "1"]])
+        profile = table_profile(table)
+        assert profile.materialize() is profile
+
+    def test_unique_values_sorted_distinct(self):
+        table = Table([["b", "a", " a "], ["b", "", "c"]])
+        profile = table_profile(table)
+        assert list(profile.unique_values) == ["", "a", "b", "c"]
+
+
+class TestDatatypeMemoization:
+    def test_infer_data_type_cached(self):
+        infer_data_type.cache_clear()
+        assert infer_data_type("123xyz") is DataType.STRING
+        before = infer_data_type.cache_info().hits
+        assert infer_data_type("123xyz") is DataType.STRING
+        assert infer_data_type.cache_info().hits == before + 1
+
+    def test_parse_number_cached(self):
+        parse_number.cache_clear()
+        assert parse_number("1,234") == 1234.0
+        before = parse_number.cache_info().hits
+        assert parse_number("1,234") == 1234.0
+        assert parse_number.cache_info().hits == before + 1
+
+    def test_cache_is_bounded(self):
+        assert infer_data_type.cache_parameters()["maxsize"] == 65536
+        assert parse_number.cache_parameters()["maxsize"] == 65536
