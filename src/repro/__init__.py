@@ -29,7 +29,15 @@ from repro.core.strudel import (
 )
 from repro.datagen.corpora import make_corpus
 from repro.dialect import Dialect, detect_dialect
-from repro.errors import ReproError
+from repro.errors import IngestError, ReproError
+from repro.io.ingest import (
+    IngestPolicy,
+    IngestReport,
+    IngestResult,
+    ingest_bytes,
+    ingest_path,
+    ingest_text,
+)
 from repro.io.reader import read_table, read_table_text
 from repro.ml.forest import RandomForestClassifier as _RandomForestClassifier
 from repro.perf.cache import FeatureCache
@@ -50,6 +58,10 @@ __all__ = [
     "DataType",
     "Dialect",
     "FeatureCache",
+    "IngestError",
+    "IngestPolicy",
+    "IngestReport",
+    "IngestResult",
     "LineToCellBaseline",
     "ReproError",
     "StructureResult",
@@ -58,6 +70,9 @@ __all__ = [
     "StrudelPipeline",
     "Table",
     "detect_dialect",
+    "ingest_bytes",
+    "ingest_path",
+    "ingest_text",
     "make_corpus",
     "read_table",
     "read_table_text",

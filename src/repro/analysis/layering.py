@@ -39,6 +39,12 @@ NODE_BY_PREFIX: dict[str, str] = {
     "repro.types": "types",
     "repro.parsing": "dialect",
     "repro.dialect": "dialect",
+    # The hardened ingestion stage is declared explicitly: it is the
+    # single entry path every reader routes through (encoding
+    # resolution, strict/lenient repair policy, BOM stripping), but it
+    # is io-internal infrastructure, not a new layer — it imports only
+    # dialect/errors/types, and io.reader sits directly on top of it.
+    "repro.io.ingest": "io",
     "repro.io": "io",
     "repro.perf.bench": "bench",
     "repro.perf": "perf",
@@ -54,6 +60,7 @@ NODE_BY_PREFIX: dict[str, str] = {
     "repro.baselines": "baselines",
     "repro.datagen": "datagen",
     "repro.eval": "eval",
+    "repro.fuzz": "fuzz",
     "repro.analysis": "analysis",
     "repro.cli": "app",
     "repro.__main__": "app",
@@ -92,12 +99,20 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
             "ml", "perf", "types", "util",
         }
     ),
+    # The ingestion fuzz harness mutates datagen corpora at the byte
+    # level and verifies strict/lenient feature parity through the
+    # core extractors, so it sits above both — like bench, it drives
+    # lower layers end to end without anything importing it but app.
+    "fuzz": frozenset(
+        {"core", "datagen", "dialect", "errors", "io", "perf",
+         "types", "util"}
+    ),
     "analysis": frozenset({"errors", "util"}),
     "app": frozenset(
         {
             "analysis", "baselines", "bench", "core", "datagen",
-            "dialect", "errors", "eval", "io", "ml", "perf", "types",
-            "util",
+            "dialect", "errors", "eval", "fuzz", "io", "ml", "perf",
+            "types", "util",
         }
     ),
 }

@@ -18,6 +18,10 @@ Three commands cover the zero-to-working workflow:
     Time the pipeline stages and analyze paths (legacy two-pass,
     single-pass, cached) and write ``BENCH_pipeline.json``; see
     ``docs/performance.md``.
+``fuzz``
+    Run the seeded byte-level ingestion fuzz harness and fail if any
+    input escapes the ``Table``-or-``ReproError`` contract; see
+    ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -28,11 +32,12 @@ from pathlib import Path
 
 import repro
 from repro.analysis import lint_paths, render_json, render_text
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, IngestError
 from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import CORPUS_BUILDERS, make_corpus
-from repro.dialect.detector import detect_dialect
+from repro.fuzz import FuzzConfig, format_fuzz_report, run_fuzz
 from repro.io.annotations import save_annotated_file
+from repro.io.ingest import IngestPolicy, IngestResult, ingest_path
 from repro.io.writer import write_csv_text
 from repro.perf.bench import (
     DEFAULT_OUTPUT,
@@ -59,6 +64,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "detect", help="detect the dialect of a CSV file"
     )
     detect.add_argument("file", type=Path)
+    _add_ingest_flags(detect)
 
     classify = commands.add_parser(
         "classify", help="classify the lines (and cells) of a CSV file"
@@ -82,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cells", action="store_true",
         help="also print cell classes for mixed lines",
     )
+    _add_ingest_flags(classify)
 
     generate = commands.add_parser(
         "generate", help="write a generated corpus to a directory"
@@ -135,18 +142,73 @@ def _build_parser() -> argparse.ArgumentParser:
         f"diff fails (default: {DEFAULT_TOLERANCE:g} = "
         f"{DEFAULT_TOLERANCE:.0%})",
     )
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="run the seeded byte-level ingestion fuzz harness",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--iterations", type=int, default=500,
+        help="number of mutated inputs to ingest (default: 500)",
+    )
+    fuzz.add_argument(
+        "--corpus", default="saus", choices=sorted(CORPUS_BUILDERS),
+        help="corpus personality seeding the base inputs "
+             "(default: saus)",
+    )
+    fuzz.add_argument(
+        "--scale", type=float, default=0.02,
+        help="base corpus scale (default: 0.02)",
+    )
+    fuzz.add_argument(
+        "--max-printed-failures", type=int, default=10,
+        help="cap on failure details printed (default: 10)",
+    )
     return parser
 
 
+def _add_ingest_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--strict", action="store_true",
+        help="reject damaged input (bad encoding, NULs, unterminated "
+             "quotes, oversize) instead of repairing it",
+    )
+    subparser.add_argument(
+        "--encoding", default=None,
+        help="preferred encoding, tried before UTF-8 (a BOM still "
+             "wins); default: auto-detect",
+    )
+
+
+def _ingest_input(args: argparse.Namespace) -> IngestResult:
+    """Route a CLI file argument through the hardened ingestion stage,
+    surfacing every repair as a warning line on stderr."""
+    policy = IngestPolicy(
+        strict=args.strict, encoding=args.encoding or None
+    )
+    result = ingest_path(args.file, policy=policy)
+    for note in result.report.warnings():
+        print(f"repro: {args.file}: {note}", file=sys.stderr)
+    return result
+
+
 def _cmd_detect(args: argparse.Namespace, out) -> int:
-    text = args.file.read_text(encoding="utf-8", errors="replace")
-    dialect = detect_dialect(text)
-    print(dialect.describe(), file=out)
+    try:
+        ingested = _ingest_input(args)
+    except IngestError as error:
+        print(f"repro: {args.file}: {error}", file=sys.stderr)
+        return 2
+    print(ingested.dialect.describe(), file=out)
     return 0
 
 
 def _cmd_classify(args: argparse.Namespace, out) -> int:
-    text = args.file.read_text(encoding="utf-8", errors="replace")
+    try:
+        ingested = _ingest_input(args)
+    except IngestError as error:
+        print(f"repro: {args.file}: {error}", file=sys.stderr)
+        return 2
     print(
         f"training on corpus={args.corpus} scale={args.scale:g} "
         f"trees={args.trees} ...",
@@ -158,7 +220,7 @@ def _cmd_classify(args: argparse.Namespace, out) -> int:
         n_jobs=args.jobs,
     )
     pipeline.fit(corpus.files)
-    result = pipeline.analyze(text)
+    result = pipeline.analyze(ingested.text, dialect=ingested.dialect)
 
     print(f"dialect: {result.dialect.describe()}", file=out)
     for i in range(result.table.n_rows):
@@ -275,6 +337,28 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return exit_code
 
 
+def _cmd_fuzz(args: argparse.Namespace, out) -> int:
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        corpus=args.corpus,
+        scale=args.scale,
+    )
+    print(
+        f"fuzzing ingestion (seed={config.seed}, "
+        f"iterations={config.iterations}, corpus={config.corpus}) ...",
+        file=out,
+    )
+    report = run_fuzz(config)
+    print(
+        format_fuzz_report(
+            report, max_failures=args.max_printed_failures
+        ),
+        file=out,
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -285,6 +369,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "generate": _cmd_generate,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args, out)
 

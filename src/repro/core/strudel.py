@@ -35,11 +35,10 @@ import numpy as np
 
 from repro.core.cell_features import CellFeatureExtractor
 from repro.core.line_features import LineFeatureExtractor
-from repro.dialect.detector import detect_dialect
 from repro.dialect.dialect import Dialect
 from repro.errors import ConfigurationError, NotFittedError
 from repro.io.cropping import crop_table
-from repro.parsing import parse_csv_text
+from repro.io.ingest import IngestPolicy, IngestReport, ingest_text
 from repro.core.profile import table_profile
 from repro.perf.cache import FeatureCache, array_hash
 from repro.perf.parallel import parallel_map
@@ -534,12 +533,18 @@ class LineToCellBaseline:
 
 @dataclass
 class StructureResult:
-    """Output of the end-to-end pipeline for one input text."""
+    """Output of the end-to-end pipeline for one input text.
+
+    ``ingest`` carries the ingestion stage's repair report when the
+    result came from :meth:`StrudelPipeline.analyze` (``None`` for
+    :meth:`~StrudelPipeline.analyze_table`, which skips ingestion).
+    """
 
     dialect: Dialect
     table: Table
     line_classes: list[CellClass]
     cell_classes: dict[tuple[int, int], CellClass]
+    ingest: IngestReport | None = None
 
 
 class StrudelPipeline:
@@ -608,20 +613,32 @@ class StrudelPipeline:
         )
         return line_classes, cell_classes
 
-    def analyze(self, text: str, dialect: Dialect | None = None) -> StructureResult:
-        """Classify the structure of raw CSV ``text``."""
-        if dialect is None:
-            dialect = detect_dialect(text)
-        rows = parse_csv_text(text, dialect)
-        table = Table(rows if rows else [[""]])
+    def analyze(
+        self,
+        text: str,
+        dialect: Dialect | None = None,
+        policy: IngestPolicy | None = None,
+    ) -> StructureResult:
+        """Classify the structure of raw CSV ``text``.
+
+        The text is routed through the hardened ingestion stage
+        (:mod:`repro.io.ingest`), so a stray byte-order mark or NUL
+        never reaches dialect detection or feature extraction; the
+        stage's report rides along on the result.
+        """
+        ingested = ingest_text(
+            text, dialect=dialect, policy=policy or IngestPolicy()
+        )
+        table = ingested.table
         if self.crop:
             table = crop_table(table)
         line_classes, cell_classes = self._classify(table)
         return StructureResult(
-            dialect=dialect,
+            dialect=ingested.dialect,
             table=table,
             line_classes=line_classes,
             cell_classes=cell_classes,
+            ingest=ingested.report,
         )
 
     def analyze_table(self, table: Table) -> StructureResult:

@@ -36,6 +36,35 @@ class GenerationError(ReproError):
     """Raised when a synthetic corpus generator is configured inconsistently."""
 
 
+class IngestError(ReproError):
+    """Base class for failures in the hardened ingestion stage.
+
+    Everything :mod:`repro.io.ingest` raises deliberately derives from
+    this class, so entry points can catch one exception for "this file
+    could not be turned into a :class:`~repro.types.Table`" without
+    also swallowing bugs (``UnicodeDecodeError`` escaping a raw
+    ``read_text`` is exactly the crash class this hierarchy retires).
+    """
+
+
+class EncodingError(IngestError):
+    """Raised when a file's bytes cannot be decoded under the policy:
+    the strict UTF-8 attempt and every fallback encoding failed, or a
+    byte-order mark announced an encoding the payload then violated
+    (strict mode only — lenient mode substitutes U+FFFD and reports)."""
+
+
+class SizeLimitError(IngestError):
+    """Raised in strict mode when an input exceeds the policy's byte
+    budget; lenient mode truncates at a record boundary and reports."""
+
+
+class MalformedInputError(IngestError):
+    """Raised in strict mode for structurally damaged but decodable
+    input — NUL characters, or an unterminated quoted field at EOF —
+    that lenient mode would repair and report instead."""
+
+
 class ConfigurationError(ReproError):
     """Raised when the library itself is mis-assembled: an invalid
     static-analysis rule declaration, a cyclic layer graph, or a

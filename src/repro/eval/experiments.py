@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 from collections import Counter
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.core.strudel import (
     StrudelLineClassifier,
 )
 from repro.datagen.corpora import make_corpus
+from repro.io.annotations import load_corpus
 from repro.eval.runner import (
     ClassificationScores,
     CVResult,
@@ -79,6 +81,13 @@ class ExperimentConfig:
     seed: int = 0
     n_jobs: int = 1
     mendeley_scale: float | None = None
+    #: When set, a corpus named ``X`` is loaded from the annotation
+    #: JSONs in ``<corpus_dir>/X`` (written by ``save_corpus`` /
+    #: ``repro generate``) instead of being regenerated — the route
+    #: for evaluating on real, hand-annotated files.  Reads go through
+    #: the hardened ingestion decoder, so a BOM or a mislabelled
+    #: encoding surfaces as a typed ``ReproError``, not a crash.
+    corpus_dir: str | None = None
     _corpora: dict[str, Corpus] = field(default_factory=dict, repr=False)
     _caches: dict[str, FeatureCache] = field(
         default_factory=dict, repr=False
@@ -96,12 +105,19 @@ class ExperimentConfig:
             rnn_epochs=int(os.environ.get("REPRO_RNN_EPOCHS", 6)),
             seed=int(os.environ.get("REPRO_SEED", 0)),
             n_jobs=int(os.environ.get("REPRO_JOBS", 1)),
+            corpus_dir=os.environ.get("REPRO_CORPUS_DIR") or None,
         )
 
     # ------------------------------------------------------------------
     def corpus(self, name: str) -> Corpus:
-        """The (cached) generated corpus called ``name``."""
+        """The (cached) corpus called ``name``: loaded from
+        ``corpus_dir`` when configured and present, generated
+        otherwise."""
         if name not in self._corpora:
+            loaded = self._corpus_from_disk(name)
+            if loaded is not None:
+                self._corpora[name] = loaded
+                return loaded
             scale = self.scale
             if name == "mendeley":
                 # Mendeley files are enormous; a lower scale keeps the
@@ -110,6 +126,15 @@ class ExperimentConfig:
                 scale = self.mendeley_scale or min(self.scale, 0.08)
             self._corpora[name] = make_corpus(name, scale=scale)
         return self._corpora[name]
+
+    def _corpus_from_disk(self, name: str) -> Corpus | None:
+        """The on-disk corpus for ``name``, or ``None`` to generate."""
+        if self.corpus_dir is None:
+            return None
+        directory = Path(self.corpus_dir) / name
+        if not directory.is_dir():
+            return None
+        return load_corpus(directory, name=name)
 
     def merged_transfer_train(self) -> Corpus:
         """SAUS + CIUS + DeEx, the paper's transfer training set."""

@@ -1,0 +1,28 @@
+"""Seeded byte-level fuzzing of the hardened ingestion stage.
+
+The harness locks in the ingestion contract of
+:mod:`repro.io.ingest`: any byte string yields a ``Table`` or a
+``ReproError`` — never a raw decoding or indexing exception — and
+strict/lenient mode are byte-identical whenever no recovery fired.
+Run it as ``repro fuzz --seed 0 --iterations 500`` (the CI
+``fuzz-smoke`` job) or through :func:`run_fuzz`.
+"""
+
+from repro.fuzz.harness import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    format_fuzz_report,
+    run_fuzz,
+)
+from repro.fuzz.mutations import MUTATORS, Mutator
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "MUTATORS",
+    "Mutator",
+    "format_fuzz_report",
+    "run_fuzz",
+]

@@ -1,0 +1,299 @@
+"""The seeded ingestion fuzz harness.
+
+:func:`run_fuzz` generates deterministic byte-level mutations (see
+:mod:`repro.fuzz.mutations`) over datagen corpora plus a set of
+handcrafted degenerate inputs, pushes every mutant through the
+hardened ingestion stage in **both** strict and lenient mode, and
+checks three properties:
+
+1. **Totality** — every input yields either an
+   :class:`~repro.io.ingest.IngestResult` or a
+   :class:`~repro.errors.ReproError`; a raw ``UnicodeDecodeError`` /
+   ``IndexError`` / anything else escaping is recorded as a failure.
+2. **Table invariants** — accepted inputs produce a rectangular,
+   non-empty table (the ``[[""]]`` sentinel at minimum).
+3. **Mode parity** — when an input is accepted by both modes and no
+   recovery fired, the tables and the Table-1 line feature matrices
+   must be byte-identical: strict mode may only ever *reject more*,
+   never *read differently*.
+
+Everything is driven by one explicitly seeded generator
+(:func:`repro.util.rng.as_generator`), so a fixed seed replays the
+exact mutation sequence — the CI ``fuzz-smoke`` job and the
+regression suite rely on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.line_features import LineFeatureExtractor
+from repro.datagen.corpora import make_corpus
+from repro.errors import ReproError
+from repro.fuzz.mutations import MUTATORS
+from repro.io.ingest import IngestPolicy, IngestResult, ingest_bytes
+from repro.io.writer import write_csv_text
+from repro.util.rng import as_generator
+
+#: Size guard used by the harness: small enough that ``giant_line``
+#: mutants regularly exercise truncation and strict-mode rejection.
+FUZZ_MAX_BYTES: int = 192 * 1024
+
+#: Parity feature extraction is skipped above this cell count; the
+#: point of the check is divergence, not throughput on huge mutants.
+_PARITY_CELL_LIMIT: int = 100_000
+
+#: Handcrafted degenerate bases mixed in with the generated corpus.
+_EDGE_BASES: tuple[str, ...] = (
+    "",
+    "x",
+    '"unterminated\nquoted,field',
+    "a,b,c\n1,2\n,,,,,,\n",
+    "just a sentence of plain text\nand another one\n",
+    "col a;col b\n1;2\n3;4\n",
+    "k\tv\n1\t2\n",
+    "\n\n\n",
+    "a,b\r1,2\r",
+)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Workload of one fuzz run; every field shapes the replay."""
+
+    seed: int = 0
+    iterations: int = 500
+    corpus: str = "saus"
+    scale: float = 0.02
+    max_mutations: int = 3
+    max_bytes: int = FUZZ_MAX_BYTES
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One contract violation: the mutant and what escaped."""
+
+    iteration: int
+    mutators: tuple[str, ...]
+    mode: str
+    error: str
+    payload_preview: str
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated outcome of one :func:`run_fuzz` call."""
+
+    config: FuzzConfig
+    iterations: int = 0
+    lenient_accepted: int = 0
+    lenient_rejected: dict[str, int] = field(default_factory=dict)
+    strict_accepted: int = 0
+    strict_rejected: dict[str, int] = field(default_factory=dict)
+    recovered: int = 0
+    parity_checks: int = 0
+    mutator_counts: dict[str, int] = field(default_factory=dict)
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every input honored the Table-or-ReproError contract."""
+        return not self.failures
+
+
+def _base_inputs(config: FuzzConfig) -> list[str]:
+    """Deterministic pool of base texts: generated corpus + edges."""
+    corpus = make_corpus(
+        config.corpus, seed=config.seed, scale=config.scale
+    )
+    texts = [
+        write_csv_text(annotated.table.rows())
+        for annotated in corpus.files
+    ]
+    texts.extend(_EDGE_BASES)
+    return texts
+
+
+def _guarded_ingest(
+    data: bytes, policy: IngestPolicy
+) -> tuple[IngestResult | None, ReproError | None, BaseException | None]:
+    """One ingest attempt bucketed into the contract's three outcomes."""
+    try:
+        return ingest_bytes(data, policy=policy), None, None
+    except ReproError as error:
+        return None, error, None
+    except Exception as error:  # the crash class under test
+        return None, None, error
+
+
+def _check_table(result: IngestResult) -> None:
+    """Structural invariants every accepted ingest must satisfy."""
+    table = result.table
+    n_rows, n_cols = table.shape
+    assert n_rows >= 1 and n_cols >= 1, "empty table escaped the sentinel"
+    for i in range(n_rows):
+        assert len(table.row(i)) == n_cols, "non-rectangular table"
+
+
+def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
+    """Run the harness; see the module docstring for the contract."""
+    config = config or FuzzConfig()
+    rng = as_generator(config.seed)
+    bases = _base_inputs(config)
+    lenient = IngestPolicy(max_bytes=config.max_bytes)
+    strict = IngestPolicy(strict=True, max_bytes=config.max_bytes)
+    extractor = LineFeatureExtractor()
+    report = FuzzReport(config=config)
+
+    for iteration in range(config.iterations):
+        base = bases[int(rng.integers(len(bases)))]
+        data = base.encode("utf-8")
+        names: list[str] = []
+        for _ in range(1 + int(rng.integers(config.max_mutations))):
+            name, mutate = MUTATORS[int(rng.integers(len(MUTATORS)))]
+            data = mutate(data, rng)
+            names.append(name)
+            report.mutator_counts[name] = (
+                report.mutator_counts.get(name, 0) + 1
+            )
+        report.iterations += 1
+        chain = tuple(names)
+
+        outcomes: dict[str, IngestResult | None] = {}
+        for mode, policy, accepted_attr, rejected in (
+            ("lenient", lenient, "lenient_accepted",
+             report.lenient_rejected),
+            ("strict", strict, "strict_accepted",
+             report.strict_rejected),
+        ):
+            result, repro_error, escaped = _guarded_ingest(data, policy)
+            if escaped is not None:
+                report.failures.append(_failure(
+                    iteration, chain, mode, escaped, data
+                ))
+                continue
+            if repro_error is not None:
+                kind = type(repro_error).__name__
+                rejected[kind] = rejected.get(kind, 0) + 1
+                continue
+            try:
+                _check_table(result)
+            except AssertionError as error:
+                report.failures.append(_failure(
+                    iteration, chain, mode, error, data
+                ))
+                continue
+            outcomes[mode] = result
+            setattr(
+                report, accepted_attr,
+                getattr(report, accepted_attr) + 1,
+            )
+            if mode == "lenient" and result.report.recovered:
+                report.recovered += 1
+
+        # Strict rejecting inputs lenient accepts is the design; the
+        # other direction (strict accepts, lenient rejects) cannot
+        # happen because lenient never raises after decode succeeds.
+        report.failures.extend(
+            _parity_failures(iteration, chain, data, outcomes, extractor)
+        )
+        report.parity_checks += _counted_parity(outcomes)
+
+    return report
+
+
+def _counted_parity(outcomes: dict[str, IngestResult | None]) -> int:
+    lenient = outcomes.get("lenient")
+    strict = outcomes.get("strict")
+    if lenient is None or strict is None:
+        return 0
+    if lenient.report.recovered or strict.report.recovered:
+        return 0
+    return 1
+
+
+def _parity_failures(
+    iteration: int,
+    chain: tuple[str, ...],
+    data: bytes,
+    outcomes: dict[str, IngestResult | None],
+    extractor: LineFeatureExtractor,
+) -> list[FuzzFailure]:
+    """Strict-vs-lenient byte-identity when no recovery fired."""
+    if not _counted_parity(outcomes):
+        return []
+    lenient = outcomes["lenient"]
+    strict = outcomes["strict"]
+    problems: list[str] = []
+    if lenient.text != strict.text:
+        problems.append("cleaned text differs between modes")
+    if lenient.table != strict.table:
+        problems.append("parsed tables differ between modes")
+    else:
+        n_rows, n_cols = lenient.table.shape
+        if n_rows * n_cols <= _PARITY_CELL_LIMIT:
+            a = extractor.extract(lenient.table)
+            b = extractor.extract(strict.table)
+            if a.tobytes() != b.tobytes():
+                problems.append("line feature matrices differ")
+    return [
+        _failure(iteration, chain, "parity", AssertionError(p), data)
+        for p in problems
+    ]
+
+
+def _failure(
+    iteration: int,
+    chain: tuple[str, ...],
+    mode: str,
+    error: BaseException,
+    data: bytes,
+) -> FuzzFailure:
+    preview = repr(data[:80])
+    return FuzzFailure(
+        iteration=iteration,
+        mutators=chain,
+        mode=mode,
+        error=f"{type(error).__name__}: {error}",
+        payload_preview=preview,
+    )
+
+
+def format_fuzz_report(report: FuzzReport, max_failures: int = 10) -> str:
+    """Human-readable summary printed by ``repro fuzz``."""
+    lines = [
+        f"iterations            {report.iterations}",
+        f"lenient accepted      {report.lenient_accepted} "
+        f"({report.recovered} with recovery)",
+        f"lenient rejected      {_kinds(report.lenient_rejected)}",
+        f"strict accepted       {report.strict_accepted}",
+        f"strict rejected       {_kinds(report.strict_rejected)}",
+        f"parity checks         {report.parity_checks}",
+        f"mutations applied     {_kinds(report.mutator_counts)}",
+    ]
+    if report.ok:
+        lines.append("result                OK — no contract violations")
+    else:
+        lines.append(
+            f"result                {len(report.failures)} FAILURE(S)"
+        )
+        for failure in report.failures[:max_failures]:
+            lines.append(
+                f"  iteration {failure.iteration} "
+                f"[{'+'.join(failure.mutators)}] {failure.mode}: "
+                f"{failure.error} on {failure.payload_preview}"
+            )
+        hidden = len(report.failures) - max_failures
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+    return "\n".join(lines)
+
+
+def _kinds(counts: dict[str, int]) -> str:
+    if not counts:
+        return "0"
+    total = sum(counts.values())
+    parts = ", ".join(
+        f"{name}={counts[name]}" for name in sorted(counts)
+    )
+    return f"{total} ({parts})"

@@ -1,0 +1,163 @@
+"""Deterministic byte-level mutators for the ingestion fuzz harness.
+
+Each mutator is a pure function ``(data, rng) -> bytes`` drawing all
+randomness from the explicitly seeded generator it is handed, so a
+fixed harness seed replays a bit-identical mutation sequence (the
+reproducibility invariant rule R001 enforces everywhere else).
+
+The registry :data:`MUTATORS` is an ordered tuple — iteration order,
+and therefore which mutator a given random index picks, never depends
+on dict or set ordering.  The mutations mirror the damage classes the
+hardened ingestion stage (:mod:`repro.io.ingest`) claims to survive:
+byte-order marks (including lying and doubled ones), encoding mixing
+and invalid UTF-8, NUL bytes, quote truncation, mid-character chops,
+record-separator chaos, random byte splices and giant single lines.
+"""
+
+from __future__ import annotations
+
+import codecs
+from typing import Callable
+
+import numpy as np
+
+#: A mutator: raw bytes plus a seeded generator in, raw bytes out.
+Mutator = Callable[[bytes, np.random.Generator], bytes]
+
+_BOMS: tuple[bytes, ...] = (
+    codecs.BOM_UTF8,
+    codecs.BOM_UTF16_LE,
+    codecs.BOM_UTF16_BE,
+    codecs.BOM_UTF32_LE,
+    codecs.BOM_UTF32_BE,
+)
+
+#: Re-encodings applied by :func:`reencode`; every codec here can
+#: represent arbitrary text (unlike e.g. latin-1), so the mutator
+#: never raises on exotic input.
+_REENCODINGS: tuple[str, ...] = ("utf-8", "utf-16-le", "utf-16-be")
+
+#: High bytes that are invalid as UTF-8 lead bytes or form truncated
+#: multi-byte sequences — the raw material for encoding damage.
+_BAD_UTF8: tuple[bytes, ...] = (
+    b"\x80", b"\xbf", b"\xc3", b"\xe2\x82", b"\xf0\x9f", b"\xff", b"\xfe",
+)
+
+
+def _index(rng: np.random.Generator, bound: int) -> int:
+    """A draw in ``[0, bound)`` (``0`` when the bound is empty)."""
+    return int(rng.integers(bound)) if bound > 0 else 0
+
+
+def insert_bom(data: bytes, rng: np.random.Generator) -> bytes:
+    """Prepend one of the five Unicode byte-order marks."""
+    return _BOMS[_index(rng, len(_BOMS))] + data
+
+
+def double_bom(data: bytes, rng: np.random.Generator) -> bytes:
+    """Prepend a doubled UTF-8 BOM (written by BOM-blind concatenation)."""
+    return codecs.BOM_UTF8 + codecs.BOM_UTF8 + data
+
+
+def lying_bom(data: bytes, rng: np.random.Generator) -> bytes:
+    """A UTF-16/32 BOM in front of payload bytes that stay UTF-8."""
+    return _BOMS[1 + _index(rng, len(_BOMS) - 1)] + data
+
+
+def reencode(data: bytes, rng: np.random.Generator) -> bytes:
+    """Re-encode the (replace-decoded) payload in another codec."""
+    text = data.decode("utf-8", errors="replace")
+    return text.encode(_REENCODINGS[_index(rng, len(_REENCODINGS))])
+
+
+def mix_encoding(data: bytes, rng: np.random.Generator) -> bytes:
+    """Splice latin-1-looking high bytes into an otherwise-UTF-8 file."""
+    payload = bytes(
+        [0xE9, 0xFC, 0xB0, 0xA7][_index(rng, 4)]
+        for _ in range(1 + _index(rng, 4))
+    )
+    at = _index(rng, len(data) + 1)
+    return data[:at] + payload + data[at:]
+
+
+def invalid_utf8(data: bytes, rng: np.random.Generator) -> bytes:
+    """Insert a truncated or ill-formed UTF-8 sequence."""
+    bad = _BAD_UTF8[_index(rng, len(_BAD_UTF8))]
+    at = _index(rng, len(data) + 1)
+    return data[:at] + bad + data[at:]
+
+
+def nul_bytes(data: bytes, rng: np.random.Generator) -> bytes:
+    """Sprinkle 1–8 NUL bytes at random offsets."""
+    for _ in range(1 + _index(rng, 8)):
+        at = _index(rng, len(data) + 1)
+        data = data[:at] + b"\x00" + data[at:]
+    return data
+
+
+def open_quote(data: bytes, rng: np.random.Generator) -> bytes:
+    """Insert an opening double quote that nothing terminates."""
+    at = _index(rng, len(data) + 1)
+    return data[:at] + b'"' + data[at:]
+
+
+def truncate_quote(data: bytes, rng: np.random.Generator) -> bytes:
+    """Cut the file just after a quote (EOF inside a quoted field)."""
+    quote_at = data.find(b'"')
+    if quote_at < 0:
+        return open_quote(data, rng)
+    keep = quote_at + 1 + _index(rng, max(1, len(data) - quote_at - 1))
+    return data[:keep]
+
+
+def chop(data: bytes, rng: np.random.Generator) -> bytes:
+    """Truncate at an arbitrary byte offset (may split a character)."""
+    return data[: _index(rng, len(data) + 1)]
+
+
+def record_separator_chaos(data: bytes, rng: np.random.Generator) -> bytes:
+    """Rewrite some LF record separators as CR or CRLF."""
+    out = bytearray()
+    for byte in data:
+        if byte == 0x0A and _index(rng, 3) != 0:
+            out += b"\r" if _index(rng, 2) else b"\r\n"
+        else:
+            out.append(byte)
+    return bytes(out)
+
+
+def random_splice(data: bytes, rng: np.random.Generator) -> bytes:
+    """Overwrite a short window with uniformly random bytes."""
+    if not data:
+        return bytes(rng.integers(0, 256, size=8, dtype=np.uint8))
+    at = _index(rng, len(data))
+    window = 1 + _index(rng, 16)
+    noise = bytes(rng.integers(0, 256, size=window, dtype=np.uint8))
+    return data[:at] + noise + data[at + window:]
+
+
+def giant_line(data: bytes, rng: np.random.Generator) -> bytes:
+    """Append one enormous single line (8–48 KiB, many delimiters)."""
+    cells = 64 * (1 + _index(rng, 6))
+    cell = b"x" * (128 * (1 + _index(rng, 6)))
+    return data + b",".join([cell] * cells) + b"\n"
+
+
+#: Ordered registry: (name, mutator).  The harness indexes into this
+#: tuple with seeded draws, so order is part of the replay contract —
+#: append new mutators at the end.
+MUTATORS: tuple[tuple[str, Mutator], ...] = (
+    ("insert_bom", insert_bom),
+    ("double_bom", double_bom),
+    ("lying_bom", lying_bom),
+    ("reencode", reencode),
+    ("mix_encoding", mix_encoding),
+    ("invalid_utf8", invalid_utf8),
+    ("nul_bytes", nul_bytes),
+    ("open_quote", open_quote),
+    ("truncate_quote", truncate_quote),
+    ("chop", chop),
+    ("record_separator_chaos", record_separator_chaos),
+    ("random_splice", random_splice),
+    ("giant_line", giant_line),
+)

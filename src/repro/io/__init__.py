@@ -12,13 +12,31 @@ from repro.io.annotations import (
     save_corpus,
 )
 from repro.io.cropping import crop_annotated_file, crop_table
+from repro.io.ingest import (
+    IngestPolicy,
+    IngestReport,
+    IngestResult,
+    decode_bytes,
+    decode_path,
+    ingest_bytes,
+    ingest_path,
+    ingest_text,
+)
 from repro.io.parser import parse_csv_text, split_record
 from repro.io.reader import read_table, read_table_text
 from repro.io.writer import write_csv_text, write_table
 
 __all__ = [
+    "IngestPolicy",
+    "IngestReport",
+    "IngestResult",
     "crop_annotated_file",
     "crop_table",
+    "decode_bytes",
+    "decode_path",
+    "ingest_bytes",
+    "ingest_path",
+    "ingest_text",
     "load_annotated_file",
     "load_corpus",
     "parse_csv_text",

@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 
 from repro.errors import AnnotationError
+from repro.io.ingest import IngestPolicy, decode_path
 from repro.types import AnnotatedFile, CellClass, Corpus, Table
 
 
@@ -62,8 +63,21 @@ def save_annotated_file(annotated: AnnotatedFile, path: str | Path) -> None:
 
 
 def load_annotated_file(path: str | Path) -> AnnotatedFile:
-    """Read one annotated file from JSON."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read one annotated file from JSON.
+
+    The read goes through the hardened decoding stage in strict mode:
+    a byte-order mark (added by some editors and transports) is
+    tolerated, but undecodable bytes raise an
+    :class:`~repro.errors.IngestError` instead of corrupting ground
+    truth with replacement characters.
+    """
+    text, _ = decode_path(path, IngestPolicy.strict_policy())
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise AnnotationError(
+            f"{path}: malformed annotation JSON: {exc}"
+        ) from exc
     return annotated_file_from_dict(payload)
 
 

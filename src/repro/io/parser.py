@@ -5,6 +5,16 @@ both :mod:`repro.io` and :mod:`repro.dialect` can use it without a
 circular import.
 """
 
-from repro.parsing import parse_csv_text, split_record
+from repro.parsing import (
+    ParseOutcome,
+    parse_csv_outcome,
+    parse_csv_text,
+    split_record,
+)
 
-__all__ = ["parse_csv_text", "split_record"]
+__all__ = [
+    "ParseOutcome",
+    "parse_csv_outcome",
+    "parse_csv_text",
+    "split_record",
+]

@@ -1,32 +1,55 @@
-"""Reading verbose CSV files into :class:`~repro.types.Table` objects."""
+"""Reading verbose CSV files into :class:`~repro.types.Table` objects.
+
+Both readers are thin facades over the hardened ingestion stage
+(:mod:`repro.io.ingest`): encoding resolution, BOM stripping, the
+strict/lenient damage policy and rectangular parsing all live there,
+so the library, the CLI and the evaluation harness agree on what any
+sequence of bytes contains.  Callers that need the
+:class:`~repro.io.ingest.IngestReport` (what was repaired, which
+encoding won) should call :func:`~repro.io.ingest.ingest_path` /
+:func:`~repro.io.ingest.ingest_text` directly; these facades return
+just the table.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.dialect.detector import detect_dialect
 from repro.dialect.dialect import Dialect
-from repro.parsing import parse_csv_text
+from repro.io.ingest import IngestPolicy, ingest_path, ingest_text, with_encoding
 from repro.types import Table
 
 
-def read_table_text(text: str, dialect: Dialect | None = None) -> Table:
+def read_table_text(
+    text: str,
+    dialect: Dialect | None = None,
+    policy: IngestPolicy | None = None,
+) -> Table:
     """Parse CSV ``text`` into a rectangular :class:`Table`.
 
     When ``dialect`` is ``None`` it is detected from the text first —
     mirroring the paper's preprocessing, which runs dialect detection
     before any structure analysis.
     """
-    if dialect is None:
-        dialect = detect_dialect(text)
-    rows = parse_csv_text(text, dialect)
-    if not rows:
-        rows = [[""]]
-    return Table(rows)
+    return ingest_text(
+        text, dialect=dialect, policy=policy or IngestPolicy()
+    ).table
 
 
-def read_table(path: str | Path, dialect: Dialect | None = None,
-               encoding: str = "utf-8") -> Table:
-    """Read the CSV file at ``path`` into a :class:`Table`."""
-    text = Path(path).read_text(encoding=encoding)
-    return read_table_text(text, dialect=dialect)
+def read_table(
+    path: str | Path,
+    dialect: Dialect | None = None,
+    encoding: str | None = None,
+    policy: IngestPolicy | None = None,
+) -> Table:
+    """Read the CSV file at ``path`` into a :class:`Table`.
+
+    ``encoding`` is a preference, not a demand: it is tried first, but
+    a byte-order mark wins and the fallback chain still applies, so a
+    mis-labelled file degrades to a reported repair instead of a
+    ``UnicodeDecodeError`` (pass a strict
+    :class:`~repro.io.ingest.IngestPolicy` to reject instead).
+    """
+    return ingest_path(
+        path, dialect=dialect, policy=with_encoding(policy, encoding)
+    ).table

@@ -26,10 +26,16 @@ from repro.core.derived import DerivedDetector
 from repro.core.line_features import LineFeatureExtractor
 from repro.core.strudel import StrudelCellClassifier, StrudelLineClassifier
 from repro.errors import NotFittedError, ReproError
+from repro.io.ingest import IngestPolicy, decode_path
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.tree import DecisionTreeClassifier
 
 FORMAT_VERSION = 1
+
+#: Manifests are UTF-8 JSON we wrote ourselves: tolerate a BOM (some
+#: transports add one) but reject undecodable bytes outright rather
+#: than repairing a model description.
+_MANIFEST_POLICY = IngestPolicy.strict_policy()
 
 
 class PersistenceError(ReproError):
@@ -91,14 +97,25 @@ def save_forest(forest: RandomForestClassifier, directory: str | Path) -> None:
             "bootstrap": forest.bootstrap,
         },
     }
-    (directory / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=1), encoding="utf-8"
+    )
 
 
 def _read_manifest(directory: Path, expected_kind: str) -> dict:
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
         raise PersistenceError(f"no manifest.json in {directory}")
-    manifest = json.loads(manifest_path.read_text())
+    # decode_path, not read_text(): manifests written on another
+    # machine may carry a BOM, and the platform-default codec of a
+    # non-UTF-8 locale must never decide how JSON is read.
+    text, _ = decode_path(manifest_path, _MANIFEST_POLICY)
+    try:
+        manifest = json.loads(text)
+    except ValueError as exc:
+        raise PersistenceError(
+            f"malformed manifest.json in {directory}: {exc}"
+        ) from exc
     if manifest.get("format_version") != FORMAT_VERSION:
         raise PersistenceError(
             f"unsupported format version {manifest.get('format_version')}"
@@ -181,7 +198,9 @@ def save_line_classifier(
         "detector": _detector_config(model.extractor.detector),
         "columns": model._columns.tolist(),
     }
-    (directory / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=1), encoding="utf-8"
+    )
 
 
 def load_line_classifier(directory: str | Path) -> StrudelLineClassifier:
@@ -225,7 +244,9 @@ def save_cell_classifier(
         "detector": _detector_config(model.extractor.detector),
         "columns": model._columns.tolist(),
     }
-    (directory / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=1), encoding="utf-8"
+    )
 
 
 def load_cell_classifier(directory: str | Path) -> StrudelCellClassifier:

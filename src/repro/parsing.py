@@ -25,7 +25,28 @@ raising.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.dialect.dialect import Dialect
+
+
+@dataclass(frozen=True)
+class ParseOutcome:
+    """Records plus the lenient-recovery facts of one parse.
+
+    The tokenizer never raises on malformed input (dialect detection
+    must be able to score *wrong* dialects), but downstream policy —
+    the strict/lenient knob of :mod:`repro.io.ingest` — needs to know
+    when lenience actually fired.  ``unterminated_quote`` is true when
+    the text ended inside a quoted field and the remainder was folded
+    into the current field; ``dangling_escape`` is true when the final
+    character was a configured escape character, which has nothing to
+    escape and is kept literal.
+    """
+
+    records: list[list[str]]
+    unterminated_quote: bool = False
+    dangling_escape: bool = False
 
 
 def split_record(line: str, dialect: Dialect) -> list[str]:
@@ -43,6 +64,11 @@ def parse_csv_text(text: str, dialect: Dialect) -> list[list[str]]:
     strings with quotes and escapes resolved.  The trailing newline of
     the text does not produce an extra empty record.
     """
+    return parse_csv_outcome(text, dialect).records
+
+
+def parse_csv_outcome(text: str, dialect: Dialect) -> ParseOutcome:
+    """Like :func:`parse_csv_text`, also reporting recovery facts."""
     delimiter = dialect.delimiter
     quote = dialect.quotechar or ""
     escape = dialect.escapechar or ""
@@ -51,6 +77,7 @@ def parse_csv_text(text: str, dialect: Dialect) -> list[list[str]]:
     fields: list[str] = []
     current: list[str] = []
     in_quotes = False
+    dangling_escape = False
     i = 0
     n = len(text)
 
@@ -107,9 +134,17 @@ def parse_csv_text(text: str, dialect: Dialect) -> list[list[str]]:
             end_record()
             i += 1
             continue
+        if escape and ch == escape and i + 1 >= n:
+            # An escape character with nothing after it escapes
+            # nothing; it stays literal, which the outcome records.
+            dangling_escape = True
         current.append(ch)
         i += 1
 
     if current or fields or (n > 0 and text[-1] not in "\r\n"):
         end_record()
-    return records
+    return ParseOutcome(
+        records,
+        unterminated_quote=in_quotes,
+        dangling_escape=dangling_escape,
+    )

@@ -37,6 +37,77 @@ class TestDetect:
         assert "delimiter=';'" in out.getvalue()
 
 
+class TestIngestFlags:
+    """The detect/classify commands share the hardened ingestion path:
+    lenient repairs warn on stderr, ``--strict`` refuses with exit 2."""
+
+    def test_detect_latin1_file_no_longer_crashes(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes(
+            "name,city\nRené,Köln\nJosé,Málaga\n".encode("latin-1")
+        )
+        out = io.StringIO()
+        assert main(["detect", str(path)], out=out) == 0
+        assert "delimiter=','" in out.getvalue()
+
+    def test_detect_lenient_warns_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "nul.csv"
+        path.write_bytes(b"a,\x00b\n1,2\n3,4\n")
+        out = io.StringIO()
+        assert main(["detect", str(path)], out=out) == 0
+        err = capsys.readouterr().err
+        assert str(path) in err
+        assert "NUL" in err
+
+    def test_detect_strict_rejects_with_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "nul.csv"
+        path.write_bytes(b"a,\x00b\n1,2\n")
+        out = io.StringIO()
+        assert main(["detect", str(path), "--strict"], out=out) == 2
+        assert "NUL" in capsys.readouterr().err
+
+    def test_detect_encoding_flag(self, tmp_path):
+        path = tmp_path / "cp.csv"
+        path.write_bytes("a,ä\nb,ö\nc,ü\n".encode("cp1252"))
+        out = io.StringIO()
+        code = main(
+            ["detect", str(path), "--encoding", "cp1252"], out=out
+        )
+        assert code == 0
+
+    def test_clean_file_stays_quiet(self, csv_file, capsys):
+        out = io.StringIO()
+        assert main(["detect", str(csv_file)], out=out) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_classify_strict_rejects_lying_bom(self, tmp_path):
+        import codecs
+
+        path = tmp_path / "bom.csv"
+        path.write_bytes(codecs.BOM_UTF16_LE + b"abc")
+        out = io.StringIO()
+        code = main(
+            ["classify", str(path), "--strict",
+             "--scale", "0.05", "--trees", "8"],
+            out=out,
+        )
+        assert code == 2
+
+    def test_classify_utf8_sig_file(self, tmp_path):
+        path = tmp_path / "sig.csv"
+        path.write_text(
+            "Region,Q1,Q2\nNorth,5,7\nSouth,6,8\nTotal,11,15\n",
+            encoding="utf-8-sig",
+        )
+        out = io.StringIO()
+        code = main(
+            ["classify", str(path), "--scale", "0.05", "--trees", "8"],
+            out=out,
+        )
+        assert code == 0
+        assert "data" in out.getvalue()
+
+
 class TestClassify:
     def test_classify_prints_line_classes(self, csv_file):
         out = io.StringIO()

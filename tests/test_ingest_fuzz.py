@@ -1,0 +1,166 @@
+"""The seeded ingestion fuzz harness as a regression suite.
+
+The heavy contract check (``repro fuzz --seed 0 --iterations 500``)
+runs in CI's ``fuzz-smoke`` job; here a smaller seeded slice locks in
+the same properties on every test run, plus unit tests for the
+mutators and the report plumbing.
+"""
+
+from __future__ import annotations
+
+import codecs
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.fuzz import (
+    MUTATORS,
+    FuzzConfig,
+    FuzzReport,
+    format_fuzz_report,
+    run_fuzz,
+)
+from repro.fuzz.harness import FuzzFailure, _base_inputs
+from repro.io.ingest import ingest_bytes
+from repro.util.rng import as_generator
+
+
+@pytest.fixture(scope="module")
+def small_run() -> FuzzReport:
+    return run_fuzz(FuzzConfig(seed=0, iterations=120))
+
+
+class TestContract:
+    def test_no_uncaught_exceptions(self, small_run):
+        assert small_run.ok, format_fuzz_report(small_run)
+
+    def test_every_iteration_counted(self, small_run):
+        assert small_run.iterations == 120
+        lenient_total = small_run.lenient_accepted + sum(
+            small_run.lenient_rejected.values()
+        )
+        assert lenient_total == 120
+
+    def test_strict_only_ever_rejects_more(self, small_run):
+        assert small_run.strict_accepted <= small_run.lenient_accepted
+
+    def test_mutations_were_exercised(self, small_run):
+        # With 120 iterations and 1-3 draws each, every mutator in the
+        # registry should have fired at least once (seed-pinned).
+        assert set(small_run.mutator_counts) == {
+            name for name, _ in MUTATORS
+        }
+
+    def test_recovery_and_parity_paths_hit(self, small_run):
+        assert small_run.recovered > 0
+        assert small_run.parity_checks > 0
+        assert small_run.strict_rejected  # typed rejections occurred
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, small_run):
+        again = run_fuzz(FuzzConfig(seed=0, iterations=120))
+        assert again.lenient_accepted == small_run.lenient_accepted
+        assert again.lenient_rejected == small_run.lenient_rejected
+        assert again.strict_rejected == small_run.strict_rejected
+        assert again.mutator_counts == small_run.mutator_counts
+        assert again.failures == small_run.failures
+
+    def test_different_seed_different_draws(self, small_run):
+        other = run_fuzz(FuzzConfig(seed=1, iterations=120))
+        assert other.mutator_counts != small_run.mutator_counts
+
+    def test_base_inputs_deterministic(self):
+        config = FuzzConfig(seed=3, iterations=1)
+        assert _base_inputs(config) == _base_inputs(config)
+
+
+class TestMutators:
+    def test_mutators_deterministic_given_rng(self):
+        data = b"Region,Q1\nNorth,5\n"
+        for name, mutate in MUTATORS:
+            a = mutate(data, as_generator(7))
+            b = mutate(data, as_generator(7))
+            assert a == b, name
+
+    def test_mutators_total_on_empty_input(self):
+        for name, mutate in MUTATORS:
+            out = mutate(b"", as_generator(0))
+            assert isinstance(out, bytes), name
+
+    def test_insert_bom_prepends_known_bom(self):
+        from repro.fuzz.mutations import insert_bom
+
+        out = insert_bom(b"a,b\n", as_generator(0))
+        assert any(
+            out.startswith(bom)
+            for bom in (
+                codecs.BOM_UTF8,
+                codecs.BOM_UTF16_LE,
+                codecs.BOM_UTF16_BE,
+                codecs.BOM_UTF32_LE,
+                codecs.BOM_UTF32_BE,
+            )
+        )
+
+    def test_mutant_ingestion_never_leaks_raw_exceptions(self):
+        # Direct spot check of the crash class the ISSUE names:
+        # mutants must never raise UnicodeDecodeError/IndexError.
+        rng = as_generator(11)
+        data = b"Region,Q1,Q2\nNorth,5,7\n"
+        for name, mutate in MUTATORS:
+            mutant = mutate(data, rng)
+            try:
+                result = ingest_bytes(mutant)
+                assert result.table.n_rows >= 1
+            except ReproError:
+                pass  # typed rejection is within contract
+
+
+class TestReportRendering:
+    def test_format_ok_report(self, small_run):
+        text = format_fuzz_report(small_run)
+        assert "no contract violations" in text
+        assert "iterations            120" in text
+
+    def test_format_failure_report_caps_output(self):
+        report = FuzzReport(config=FuzzConfig(), iterations=1)
+        report.failures.extend(
+            FuzzFailure(
+                iteration=i,
+                mutators=("chop",),
+                mode="lenient",
+                error="ValueError: boom",
+                payload_preview="b''",
+            )
+            for i in range(15)
+        )
+        text = format_fuzz_report(report, max_failures=3)
+        assert "15 FAILURE(S)" in text
+        assert "... and 12 more" in text
+
+
+class TestFuzzCli:
+    def test_cli_fuzz_smoke(self):
+        out = io.StringIO()
+        code = main(
+            ["fuzz", "--seed", "0", "--iterations", "40"], out=out
+        )
+        assert code == 0
+        assert "no contract violations" in out.getvalue()
+
+    def test_cli_fuzz_is_seed_stable(self):
+        first, second = io.StringIO(), io.StringIO()
+        main(["fuzz", "--seed", "5", "--iterations", "30"], out=first)
+        main(["fuzz", "--seed", "5", "--iterations", "30"], out=second)
+        assert first.getvalue() == second.getvalue()
+
+
+def test_numpy_is_quiet_during_fuzz():
+    """Mutated numeric garbage must not emit numpy warnings either."""
+    with np.errstate(all="raise"):
+        report = run_fuzz(FuzzConfig(seed=2, iterations=25))
+    assert report.ok

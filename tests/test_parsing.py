@@ -6,8 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dialect.dialect import Dialect
+from repro.io.reader import read_table_text
 from repro.io.writer import write_csv_text
-from repro.parsing import parse_csv_text, split_record
+from repro.parsing import parse_csv_outcome, parse_csv_text, split_record
 
 STANDARD = Dialect.standard()
 
@@ -87,6 +88,68 @@ class TestSplitRecord:
 
     def test_empty_line(self):
         assert split_record("", STANDARD) == [""]
+
+
+class TestLenientEdgeCases:
+    """The lenient behaviors dialect scoring leans on, pinned.
+
+    These were load-bearing but untested: dialect detection scores
+    *wrong* dialects against arbitrary text, so the tokenizer must
+    treat every malformed shape as data, never raise — and the
+    recovery facts must surface through :func:`parse_csv_outcome`.
+    """
+
+    def test_unterminated_quote_at_eof(self):
+        outcome = parse_csv_outcome('a,"bc', STANDARD)
+        assert outcome.records == [["a", "bc"]]
+        assert outcome.unterminated_quote
+
+    def test_unterminated_quote_swallows_rest_of_text(self):
+        outcome = parse_csv_outcome('"x,y\nz\n', STANDARD)
+        assert outcome.records == [["x,y\nz\n"]]
+        assert outcome.unterminated_quote
+
+    def test_terminated_quote_sets_no_flag(self):
+        outcome = parse_csv_outcome('"a",b\n', STANDARD)
+        assert not outcome.unterminated_quote
+
+    def test_escape_char_as_last_character(self):
+        dialect = Dialect(delimiter=",", quotechar='"', escapechar="\\")
+        outcome = parse_csv_outcome("a,b\\", dialect)
+        # Nothing to escape: the escape character stays literal.
+        assert outcome.records == [["a", "b\\"]]
+        assert outcome.dangling_escape
+
+    def test_escaped_escape_at_end_is_not_dangling(self):
+        dialect = Dialect(delimiter=",", quotechar='"', escapechar="\\")
+        outcome = parse_csv_outcome("a,b\\\\", dialect)
+        assert outcome.records == [["a", "b\\"]]
+        assert not outcome.dangling_escape
+
+    def test_lone_cr_record_separators(self):
+        outcome = parse_csv_outcome("a,b\rc,d\re,f", STANDARD)
+        assert outcome.records == [
+            ["a", "b"], ["c", "d"], ["e", "f"],
+        ]
+        assert not outcome.unterminated_quote
+
+    def test_trailing_lone_cr_no_phantom_record(self):
+        assert parse_csv_text("a\r", STANDARD) == [["a"]]
+
+    def test_empty_file_sentinel_through_reader(self):
+        # parse_csv_text("") is [], and the reader turns that into
+        # the 1x1 sentinel table instead of a zero-row table.
+        assert parse_csv_text("", STANDARD) == []
+        table = read_table_text("", dialect=STANDARD)
+        assert table.shape == (1, 1)
+        assert table.cell(0, 0) == ""
+
+    def test_outcome_records_match_parse_csv_text(self):
+        text = 'a,"b\nc",d\r\ne,f\n'
+        assert (
+            parse_csv_outcome(text, STANDARD).records
+            == parse_csv_text(text, STANDARD)
+        )
 
 
 # ----------------------------------------------------------------------
