@@ -40,6 +40,7 @@ from repro.io.ingest import (
 )
 from repro.io.reader import read_table, read_table_text
 from repro.ml.forest import RandomForestClassifier as _RandomForestClassifier
+from repro.obs import Tracer, activate, get_metrics, get_tracer
 from repro.perf.cache import FeatureCache
 from repro.types import AnnotatedFile, CellClass, Corpus, DataType, Table
 
@@ -69,7 +70,11 @@ __all__ = [
     "StrudelLineClassifier",
     "StrudelPipeline",
     "Table",
+    "Tracer",
+    "activate",
     "detect_dialect",
+    "get_metrics",
+    "get_tracer",
     "ingest_bytes",
     "ingest_path",
     "ingest_text",

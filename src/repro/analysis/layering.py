@@ -36,6 +36,7 @@ from repro.errors import ConfigurationError
 NODE_BY_PREFIX: dict[str, str] = {
     "repro.util": "util",
     "repro.errors": "errors",
+    "repro.obs": "obs",
     "repro.types": "types",
     "repro.parsing": "dialect",
     "repro.dialect": "dialect",
@@ -71,15 +72,20 @@ NODE_BY_PREFIX: dict[str, str] = {
 ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "util": frozenset(),
     "errors": frozenset(),
+    # Observability is near-bottom infrastructure: every layer that
+    # does work (io, perf, core, ml, eval) may emit spans and metrics
+    # into it, so it may depend on almost nothing itself.
+    "obs": frozenset({"errors", "util"}),
     "types": frozenset({"errors"}),
-    "perf": frozenset({"errors", "types", "util"}),
+    "perf": frozenset({"errors", "obs", "types", "util"}),
     "dialect": frozenset({"errors", "types", "util"}),
-    "io": frozenset({"dialect", "errors", "types", "util"}),
+    "io": frozenset({"dialect", "errors", "obs", "types", "util"}),
     "core": frozenset(
-        {"dialect", "errors", "io", "perf", "types", "util"}
+        {"dialect", "errors", "io", "obs", "perf", "types", "util"}
     ),
     "ml": frozenset(
-        {"core", "dialect", "errors", "io", "perf", "types", "util"}
+        {"core", "dialect", "errors", "io", "obs", "perf", "types",
+         "util"}
     ),
     "baselines": frozenset(
         {"core", "dialect", "errors", "io", "ml", "types", "util"}
@@ -90,13 +96,13 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "eval": frozenset(
         {
             "baselines", "core", "datagen", "dialect", "errors", "io",
-            "ml", "perf", "types", "util",
+            "ml", "obs", "perf", "types", "util",
         }
     ),
     "bench": frozenset(
         {
             "core", "datagen", "dialect", "errors", "eval", "io",
-            "ml", "perf", "types", "util",
+            "ml", "obs", "perf", "types", "util",
         }
     ),
     # The ingestion fuzz harness mutates datagen corpora at the byte
@@ -111,8 +117,8 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "app": frozenset(
         {
             "analysis", "baselines", "bench", "core", "datagen",
-            "dialect", "errors", "eval", "fuzz", "io", "ml", "perf",
-            "types", "util",
+            "dialect", "errors", "eval", "fuzz", "io", "ml", "obs",
+            "perf", "types", "util",
         }
     ),
 }

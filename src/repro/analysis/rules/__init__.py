@@ -6,4 +6,5 @@ from repro.analysis.rules import (  # noqa: F401 - imports register rules
     iteration,
     layers,
     rng,
+    timing,
 )

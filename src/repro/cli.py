@@ -12,7 +12,7 @@ Three commands cover the zero-to-working workflow:
     Materialize a corpus personality on disk as CSV files plus JSON
     ground-truth annotations, for experimentation outside Python.
 ``lint``
-    Run the repro static-analysis rules (R001–R005) over source
+    Run the repro static-analysis rules (R001–R006) over source
     trees; exits 1 when there are findings, for use as a CI gate.
 ``bench``
     Time the pipeline stages and analyze paths (legacy two-pass,
@@ -22,11 +22,18 @@ Three commands cover the zero-to-working workflow:
     Run the seeded byte-level ingestion fuzz harness and fail if any
     input escapes the ``Table``-or-``ReproError`` contract; see
     ``docs/robustness.md``.
+
+The ``detect``, ``classify`` and ``bench`` commands accept
+``--trace FILE`` (and ``--trace-format json|text``) to write a span
+trace plus a metrics snapshot of the run; the ``REPRO_TRACE`` /
+``REPRO_TRACE_FORMAT`` environment variables do the same without
+touching the command line.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -39,6 +46,13 @@ from repro.fuzz import FuzzConfig, format_fuzz_report, run_fuzz
 from repro.io.annotations import save_annotated_file
 from repro.io.ingest import IngestPolicy, IngestResult, ingest_path
 from repro.io.writer import write_csv_text
+from repro.obs import (
+    TRACE_FORMATS,
+    Tracer,
+    activate,
+    get_metrics,
+    write_trace,
+)
 from repro.perf.bench import (
     DEFAULT_OUTPUT,
     DEFAULT_TOLERANCE,
@@ -65,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("file", type=Path)
     _add_ingest_flags(detect)
+    _add_trace_flags(detect)
 
     classify = commands.add_parser(
         "classify", help="classify the lines (and cells) of a CSV file"
@@ -89,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print cell classes for mixed lines",
     )
     _add_ingest_flags(classify)
+    _add_trace_flags(classify)
 
     generate = commands.add_parser(
         "generate", help="write a generated corpus to a directory"
@@ -142,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
         f"diff fails (default: {DEFAULT_TOLERANCE:g} = "
         f"{DEFAULT_TOLERANCE:.0%})",
     )
+    _add_trace_flags(bench)
 
     fuzz = commands.add_parser(
         "fuzz",
@@ -166,6 +183,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap on failure details printed (default: 10)",
     )
     return parser
+
+
+def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="write a span trace + metrics snapshot of this run to "
+             "FILE (also enabled by the REPRO_TRACE environment "
+             "variable)",
+    )
+    subparser.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default=None,
+        help="trace file format (default: json; env: "
+             "REPRO_TRACE_FORMAT)",
+    )
+
+
+def _resolve_trace(
+    args: argparse.Namespace,
+) -> tuple[Path | None, str]:
+    """The trace destination and format for this invocation.
+
+    Command-line flags win; the ``REPRO_TRACE`` and
+    ``REPRO_TRACE_FORMAT`` environment variables fill in whatever the
+    flags left unset (and cover commands without trace flags).
+    """
+    path = getattr(args, "trace", None)
+    if path is None:
+        env_path = os.environ.get("REPRO_TRACE")
+        path = Path(env_path) if env_path else None
+    fmt = getattr(args, "trace_format", None)
+    if fmt is None:
+        fmt = os.environ.get("REPRO_TRACE_FORMAT") or "json"
+    return path, fmt
 
 
 def _add_ingest_flags(subparser: argparse.ArgumentParser) -> None:
@@ -371,7 +421,25 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "bench": _cmd_bench,
         "fuzz": _cmd_fuzz,
     }
-    return handlers[args.command](args, out)
+    trace_path, trace_format = _resolve_trace(args)
+    if trace_path is None:
+        return handlers[args.command](args, out)
+    if trace_format not in TRACE_FORMATS:
+        print(
+            f"repro: unknown trace format {trace_format!r} "
+            f"(expected one of {', '.join(TRACE_FORMATS)})",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = Tracer()
+    with activate(tracer):
+        with tracer.span(args.command):
+            exit_code = handlers[args.command](args, out)
+    write_trace(
+        trace_path, tracer, metrics=get_metrics(), fmt=trace_format
+    )
+    print(f"trace written to {trace_path}", file=sys.stderr)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,6 +40,7 @@ from repro.errors import ConfigurationError, NotFittedError
 from repro.io.cropping import crop_table
 from repro.io.ingest import IngestPolicy, IngestReport, ingest_text
 from repro.core.profile import table_profile
+from repro.obs import get_tracer
 from repro.perf.cache import FeatureCache, array_hash
 from repro.perf.parallel import parallel_map
 from repro.types import (
@@ -199,17 +200,18 @@ class StrudelLineClassifier:
         serves every feature subset; ``_columns`` is applied by the
         consumers.
         """
-        if self._feature_cache is None:
-            return self.extractor.extract(table)
-        key = FeatureCache.make_key(
-            "line",
-            self.extractor.cache_key,
-            table_profile(table).content_hash,
-        )
-        (features,) = self._feature_cache.get_or_compute(
-            key, lambda: (self.extractor.extract(table),)
-        )
-        return features
+        with get_tracer().span("line_features"):
+            if self._feature_cache is None:
+                return self.extractor.extract(table)
+            key = FeatureCache.make_key(
+                "line",
+                self.extractor.cache_key,
+                table_profile(table).content_hash,
+            )
+            (features,) = self._feature_cache.get_or_compute(
+                key, lambda: (self.extractor.extract(table),)
+            )
+            return features
 
     def extract_features(
         self, tables: list[Table]
@@ -270,10 +272,13 @@ class StrudelLineClassifier:
         """Aligned ``(n_rows, 6)`` probabilities from a pre-extracted
         full feature matrix (no re-extraction)."""
         self._require_fitted()
-        raw = self._model.predict_proba(features[:, self._columns])
-        return align_class_probabilities(
-            raw, self._model.classes_, features.shape[0]
-        )
+        with get_tracer().span("line_prediction"):
+            raw = self._model.predict_proba(
+                features[:, self._columns]
+            )
+            return align_class_probabilities(
+                raw, self._model.classes_, features.shape[0]
+            )
 
     def infer(self, table: Table) -> LineInference:
         """Extract the feature matrix once and derive the aligned
@@ -378,19 +383,23 @@ class StrudelCellClassifier:
         the cache key includes their hash — two different line models
         can never share an entry.
         """
-        if self._feature_cache is None:
-            return self.extractor.extract(table, probabilities)
-        key = FeatureCache.make_key(
-            "cell",
-            self.extractor.cache_key,
-            table_profile(table).content_hash,
-            array_hash(probabilities),
-        )
-        positions_array, features = self._feature_cache.get_or_compute(
-            key, lambda: self._pack_extraction(table, probabilities)
-        )
-        positions = [(int(i), int(j)) for i, j in positions_array]
-        return positions, features
+        with get_tracer().span("cell_features"):
+            if self._feature_cache is None:
+                return self.extractor.extract(table, probabilities)
+            key = FeatureCache.make_key(
+                "cell",
+                self.extractor.cache_key,
+                table_profile(table).content_hash,
+                array_hash(probabilities),
+            )
+            positions_array, features = (
+                self._feature_cache.get_or_compute(
+                    key,
+                    lambda: self._pack_extraction(table, probabilities),
+                )
+            )
+            positions = [(int(i), int(j)) for i, j in positions_array]
+            return positions, features
 
     def _pack_extraction(
         self, table: Table, probabilities: np.ndarray
@@ -458,16 +467,20 @@ class StrudelCellClassifier:
     ) -> tuple[list[tuple[int, int]], list[CellClass]]:
         """Predicted classes for pre-extracted cell features."""
         self._require_fitted()
-        if not positions:
-            return [], []
-        raw = self._model.predict_proba(features[:, self._columns])
-        aligned = align_class_probabilities(
-            raw, self._model.classes_, features.shape[0]
-        )
-        labels = [
-            INDEX_TO_CLASS[int(k)] for k in np.argmax(aligned, axis=1)
-        ]
-        return positions, labels
+        with get_tracer().span("cell_prediction"):
+            if not positions:
+                return [], []
+            raw = self._model.predict_proba(
+                features[:, self._columns]
+            )
+            aligned = align_class_probabilities(
+                raw, self._model.classes_, features.shape[0]
+            )
+            labels = [
+                INDEX_TO_CLASS[int(k)]
+                for k in np.argmax(aligned, axis=1)
+            ]
+            return positions, labels
 
     def predict_with_positions(
         self,
@@ -597,7 +610,8 @@ class StrudelPipeline:
 
     def fit(self, files: list[AnnotatedFile]) -> "StrudelPipeline":
         """Train both classifiers on annotated files."""
-        self.cell_classifier.fit(files)
+        with get_tracer().span("fit", n_files=len(files)):
+            self.cell_classifier.fit(files)
         return self
 
     def _classify(self, table: Table) -> tuple[
@@ -626,20 +640,21 @@ class StrudelPipeline:
         never reaches dialect detection or feature extraction; the
         stage's report rides along on the result.
         """
-        ingested = ingest_text(
-            text, dialect=dialect, policy=policy or IngestPolicy()
-        )
-        table = ingested.table
-        if self.crop:
-            table = crop_table(table)
-        line_classes, cell_classes = self._classify(table)
-        return StructureResult(
-            dialect=ingested.dialect,
-            table=table,
-            line_classes=line_classes,
-            cell_classes=cell_classes,
-            ingest=ingested.report,
-        )
+        with get_tracer().span("analyze"):
+            ingested = ingest_text(
+                text, dialect=dialect, policy=policy or IngestPolicy()
+            )
+            table = ingested.table
+            if self.crop:
+                table = crop_table(table)
+            line_classes, cell_classes = self._classify(table)
+            return StructureResult(
+                dialect=ingested.dialect,
+                table=table,
+                line_classes=line_classes,
+                cell_classes=cell_classes,
+                ingest=ingested.report,
+            )
 
     def analyze_table(self, table: Table) -> StructureResult:
         """Classify the structure of an already-parsed table."""

@@ -50,6 +50,7 @@ from repro.ml.knn import KNeighborsClassifier
 from repro.ml.metrics import f1_per_class
 from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.ml.svm import LinearSVM
+from repro.obs import get_metrics
 from repro.perf.cache import FeatureCache
 from repro.types import (
     CLASS_TO_INDEX,
@@ -153,6 +154,25 @@ class ExperimentConfig:
             n_files = max(1, len(self.corpus(name).files))
             self._caches[name] = FeatureCache(max_entries=2 * n_files)
         return self._caches[name]
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Locked counter snapshots of every per-corpus feature cache.
+
+        Each snapshot comes from :meth:`FeatureCache.stats` (never
+        from unlocked attribute reads) and is also published as
+        ``feature_cache.<corpus>.*`` gauges so a trace written at the
+        end of a run carries the final cache state.
+        """
+        metrics = get_metrics()
+        stats: dict[str, dict[str, int]] = {}
+        for name in sorted(self._caches):
+            snapshot = self._caches[name].stats()
+            stats[name] = snapshot
+            for field_name, value in snapshot.items():
+                metrics.gauge(
+                    f"feature_cache.{name}.{field_name}", value
+                )
+        return stats
 
     # ------------------------------------------------------------------
     # Algorithm factories

@@ -14,12 +14,14 @@ evaluated.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
+from repro.obs import get_metrics, get_tracer
 from repro.ml.metrics import (
     accuracy_score,
     confusion_matrix,
@@ -243,30 +245,45 @@ def _cross_validate(
             )
         repetition_true, repetition_pred = [], []
 
-    for repetition, train_groups, test_groups in splitter.split(names):
-        if repetition != current_repetition:
-            flush_repetition()
-            current_repetition = repetition
-        model = factory()
-        if feature_cache is not None:
-            # Shared across folds and repetitions: the per-file
-            # matrices only depend on content + extractor config, so
-            # every extraction after the first fold is a lookup.
-            attach_feature_cache(model, feature_cache)
-        model.fit([by_name[n] for n in sorted(train_groups)])
-        keys: list = []
-        y_true, y_pred = collect(
-            model,
-            [by_name[n] for n in sorted(test_groups)],
-            keys=keys,
-            **collect_kwargs,
-        )
-        repetition_true.extend(y_true)
-        repetition_pred.extend(y_pred)
-        for key, truth, prediction in zip(keys, y_true, y_pred):
-            votes_by_key.setdefault(key, []).append(prediction)
-            truth_by_key[key] = truth
-    flush_repetition()
+    metrics = get_metrics()
+    with get_tracer().span(
+        "cross_validate", n_splits=n_splits, n_repeats=n_repeats
+    ):
+        for repetition, train_groups, test_groups in splitter.split(
+            names
+        ):
+            if repetition != current_repetition:
+                flush_repetition()
+                current_repetition = repetition
+            model = factory()
+            if feature_cache is not None:
+                # Shared across folds and repetitions: the per-file
+                # matrices only depend on content + extractor config,
+                # so every extraction after the first fold is a
+                # lookup.
+                attach_feature_cache(model, feature_cache)
+            # The fold is timed explicitly (not via span duration)
+            # so the timer works under the default NullTracer too.
+            fold_started = time.perf_counter()
+            with get_tracer().span("cv_fold", repetition=repetition):
+                model.fit([by_name[n] for n in sorted(train_groups)])
+                keys: list = []
+                y_true, y_pred = collect(
+                    model,
+                    [by_name[n] for n in sorted(test_groups)],
+                    keys=keys,
+                    **collect_kwargs,
+                )
+            metrics.increment("cv.folds")
+            metrics.observe(
+                "cv.fold_seconds", time.perf_counter() - fold_started
+            )
+            repetition_true.extend(y_true)
+            repetition_pred.extend(y_pred)
+            for key, truth, prediction in zip(keys, y_true, y_pred):
+                votes_by_key.setdefault(key, []).append(prediction)
+                truth_by_key[key] = truth
+        flush_repetition()
 
     ensemble_true, ensemble_pred = majority_vote(votes_by_key, truth_by_key)
     confusion = confusion_matrix(

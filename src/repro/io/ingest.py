@@ -52,6 +52,7 @@ from repro.errors import (
     MalformedInputError,
     SizeLimitError,
 )
+from repro.obs import get_metrics, get_tracer
 from repro.parsing import parse_csv_outcome
 from repro.types import Table
 
@@ -217,30 +218,32 @@ def decode_bytes(
     :class:`~repro.errors.SizeLimitError` or
     :class:`~repro.errors.MalformedInputError` in strict mode.
     """
-    report = IngestReport(strict=policy.strict)
-    data = _apply_size_guard(data, policy, report)
+    with get_tracer().span("ingest_decode"):
+        report = IngestReport(strict=policy.strict)
+        data = _apply_size_guard(data, policy, report)
 
-    sniffed = _sniff_bom(data)
-    if sniffed is not None:
-        signature, codec = sniffed
-        report.bom = codec if codec != "utf-8" else "utf-8-sig"
-        report.encoding = codec
-        payload = data[len(signature):]
-        try:
-            text = payload.decode(codec)
-        except UnicodeDecodeError as exc:
-            if policy.strict:
-                raise EncodingError(
-                    f"byte-order mark announced {codec} but the payload "
-                    f"does not decode: {exc}"
-                ) from exc
-            text = payload.decode(codec, errors="replace")
-            # Approximate: genuine U+FFFD in the source also counts.
-            report.replacement_count = text.count(REPLACEMENT_CHAR)
-    else:
-        text = _decode_without_bom(data, policy, report)
+        sniffed = _sniff_bom(data)
+        if sniffed is not None:
+            signature, codec = sniffed
+            report.bom = codec if codec != "utf-8" else "utf-8-sig"
+            report.encoding = codec
+            payload = data[len(signature):]
+            try:
+                text = payload.decode(codec)
+            except UnicodeDecodeError as exc:
+                if policy.strict:
+                    raise EncodingError(
+                        f"byte-order mark announced {codec} but the "
+                        f"payload does not decode: {exc}"
+                    ) from exc
+                text = payload.decode(codec, errors="replace")
+                # Approximate: genuine U+FFFD in the source also
+                # counts.
+                report.replacement_count = text.count(REPLACEMENT_CHAR)
+        else:
+            text = _decode_without_bom(data, policy, report)
 
-    return _strip_nuls(text, policy, report), report
+        return _strip_nuls(text, policy, report), report
 
 
 def _apply_size_guard(
@@ -331,33 +334,67 @@ def ingest_text(
         report.bom = report.bom or "utf-8-sig"
 
     if dialect is None:
-        try:
-            dialect = detect_dialect(text)
-        except DialectError:
-            # Strict mode propagates (a typed ReproError); lenient
-            # mode falls back to the standard dialect so empty or
-            # signal-free text still yields a table — the ``[[""]]``
-            # sentinel for empty input relies on this.
-            if policy.strict:
-                raise
-            dialect = Dialect.standard()
-            report.dialect_fallback = True
-    outcome = parse_csv_outcome(text, dialect)
-    if outcome.unterminated_quote and policy.strict:
-        raise MalformedInputError(
-            "unterminated quoted field at end of input"
-        )
-    report.unterminated_quote = outcome.unterminated_quote
-    report.dangling_escape = outcome.dangling_escape
+        with get_tracer().span("dialect_detection"):
+            try:
+                dialect = detect_dialect(text)
+            except DialectError:
+                # Strict mode propagates (a typed ReproError);
+                # lenient mode falls back to the standard dialect so
+                # empty or signal-free text still yields a table —
+                # the ``[[""]]`` sentinel for empty input relies on
+                # this.
+                if policy.strict:
+                    raise
+                dialect = Dialect.standard()
+                report.dialect_fallback = True
+    with get_tracer().span("parsing"):
+        outcome = parse_csv_outcome(text, dialect)
+        if outcome.unterminated_quote and policy.strict:
+            raise MalformedInputError(
+                "unterminated quoted field at end of input"
+            )
+        report.unterminated_quote = outcome.unterminated_quote
+        report.dangling_escape = outcome.dangling_escape
 
-    rows = outcome.records if outcome.records else [[""]]
-    width = max(len(r) for r in rows)
-    short = [r for r in rows if len(r) < width]
-    report.ragged_rows = len(short)
-    report.ragged_pad_cells = sum(width - len(r) for r in short)
+        rows = outcome.records if outcome.records else [[""]]
+        width = max(len(r) for r in rows)
+        short = [r for r in rows if len(r) < width]
+        report.ragged_rows = len(short)
+        report.ragged_pad_cells = sum(width - len(r) for r in short)
+    _publish_report(report)
     return IngestResult(
         table=Table(rows), dialect=dialect, text=text, report=report
     )
+
+
+def _publish_report(report: IngestReport) -> None:
+    """Mirror one ingestion's repair events into the metrics registry.
+
+    The per-file truth stays on the :class:`IngestReport`; the metrics
+    are the corpus-level aggregate (how many files needed *any*
+    repair, and how much of each kind) that a bench or eval run can
+    read without collecting every report.
+    """
+    metrics = get_metrics()
+    metrics.increment("ingest.files")
+    if report.recovered:
+        metrics.increment("ingest.recovered")
+    if report.bom is not None:
+        metrics.increment("ingest.bom_stripped")
+    if report.replacement_count:
+        metrics.increment(
+            "ingest.replacement_chars", report.replacement_count
+        )
+    if report.nul_count:
+        metrics.increment("ingest.nul_chars", report.nul_count)
+    if report.truncated_bytes:
+        metrics.increment(
+            "ingest.truncated_bytes", report.truncated_bytes
+        )
+    if report.unterminated_quote:
+        metrics.increment("ingest.unterminated_quote")
+    if report.dialect_fallback:
+        metrics.increment("ingest.dialect_fallback")
 
 
 def _guard_text(

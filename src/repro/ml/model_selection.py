@@ -14,6 +14,7 @@ from typing import Hashable, Iterator, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs import get_metrics
 from repro.perf.cache import FeatureCache
 from repro.util.rng import as_generator
 
@@ -42,6 +43,7 @@ def attach_feature_cache(model: object, cache: FeatureCache) -> bool:
     """
     if isinstance(model, SupportsFeatureCache):
         model.set_feature_cache(cache)
+        get_metrics().increment("cv.feature_cache_attached")
         return True
     return False
 

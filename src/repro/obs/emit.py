@@ -1,0 +1,109 @@
+"""Trace emitters: one payload schema, text and JSON renderings.
+
+:func:`trace_payload` freezes a tracer (and optionally the metrics
+registry) into a plain dict tagged ``repro-trace/1``; the renderers
+turn that payload into pretty-printed JSON for machines or an
+indented span tree for terminals.  Span clocks are re-based so the
+first span starts at zero — monotonic readings are meaningless as
+absolutes and re-basing makes two traces of the same run comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+
+#: Schema tag for emitted traces, bumped on incompatible changes.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: The emitter formats ``write_trace`` accepts.
+TRACE_FORMATS = ("json", "text")
+
+
+def trace_payload(
+    tracer: Tracer, metrics: Metrics | None = None
+) -> dict:
+    """A JSON-ready dict of every span (and a metrics snapshot)."""
+    origin = tracer.spans[0].start if tracer.spans else 0.0
+    spans = [
+        {
+            "name": record.name,
+            "index": record.index,
+            "parent": record.parent,
+            "depth": record.depth,
+            "start_seconds": record.start - origin,
+            "duration_seconds": record.duration,
+            "attributes": record.attributes,
+        }
+        for record in tracer.spans
+    ]
+    payload: dict = {"schema": TRACE_SCHEMA, "spans": spans}
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    return payload
+
+
+def render_trace_json(payload: dict) -> str:
+    """Pretty-printed JSON for files and artifacts."""
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_trace_text(payload: dict) -> str:
+    """An indented span tree plus the metrics, for terminals."""
+    lines = [f"trace ({payload['schema']})"]
+    for span in payload["spans"]:
+        indent = "  " * (span["depth"] + 1)
+        attributes = span["attributes"]
+        suffix = (
+            " " + " ".join(
+                f"{key}={attributes[key]}" for key in sorted(attributes)
+            )
+            if attributes
+            else ""
+        )
+        lines.append(
+            f"{indent}{span['name']:<24}"
+            f"{span['duration_seconds'] * 1e3:>10.3f} ms{suffix}"
+        )
+    metrics = payload.get("metrics")
+    if metrics:
+        lines.append("metrics:")
+        for name, value in metrics["counters"].items():
+            lines.append(f"  {name} = {value}")
+        for name, value in metrics["gauges"].items():
+            lines.append(f"  {name} = {value:g}")
+        for name, stats in metrics["timers"].items():
+            lines.append(
+                f"  {name}: count={stats['count']} "
+                f"total={stats['total_seconds']:.3f}s "
+                f"min={stats['min_seconds']:.3f}s "
+                f"max={stats['max_seconds']:.3f}s"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(
+    path: str | Path,
+    tracer: Tracer,
+    metrics: Metrics | None = None,
+    fmt: str = "json",
+) -> Path:
+    """Render the trace in ``fmt`` and write it to ``path``."""
+    if fmt not in TRACE_FORMATS:
+        raise InvalidParameterError(
+            f"unknown trace format {fmt!r} (expected one of "
+            f"{', '.join(TRACE_FORMATS)})"
+        )
+    payload = trace_payload(tracer, metrics)
+    rendered = (
+        render_trace_json(payload)
+        if fmt == "json"
+        else render_trace_text(payload)
+    )
+    path = Path(path)
+    path.write_text(rendered, encoding="utf-8")
+    return path

@@ -47,11 +47,11 @@ from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import make_corpus
 from repro.datagen.filegen import generate_file
 from repro.datagen.spec import FileSpec, TableSpec
-from repro.dialect.detector import detect_dialect
 from repro.eval.runner import CVResult, cross_validate_lines
 from repro.io.cropping import crop_table
 from repro.io.ingest import decode_bytes, ingest_text
 from repro.io.writer import write_csv_text
+from repro.obs import PIPELINE_STAGES, Tracer, activate, get_tracer
 from repro.perf.cache import FeatureCache
 from repro.types import Corpus, Table
 from repro.util.rng import as_generator
@@ -138,55 +138,39 @@ def _legacy_two_pass(pipeline: StrudelPipeline, text: str) -> None:
 def _stage_breakdown(
     pipeline: StrudelPipeline, text: str
 ) -> dict[str, float]:
-    """Per-stage seconds for one single-pass analyze, extractors
-    called directly (no cache) so the stages sum to the cold cost."""
-    stages: dict[str, float] = {}
-    # Encoding resolution over the raw bytes — the stage every entry
-    # point now pays before the text exists at all.
-    data = text.encode("utf-8")
-    start = time.perf_counter()
-    decoded, _ = decode_bytes(data)
-    stages["ingest_decode"] = time.perf_counter() - start
+    """Per-stage seconds for one single-pass analyze, read from the
+    spans the instrumented pipeline emits.
 
-    start = time.perf_counter()
-    dialect = detect_dialect(decoded)
-    stages["dialect_detection"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    table = crop_table(
-        ingest_text(decoded, dialect=dialect).table
-    )
-    stages["parsing"] = time.perf_counter() - start
-
-    # The compute-once columnar primitives every extractor shares;
-    # timing materialization here leaves the feature stages measuring
-    # pure consumption of the profile.
-    start = time.perf_counter()
-    table_profile(table).materialize()
-    stages["profile"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    line_features = pipeline.line_classifier.extractor.extract(table)
-    stages["line_features"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    probabilities = pipeline.line_classifier.predict_proba_from_features(
-        line_features
-    )
-    stages["line_prediction"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    positions, cell_features = pipeline.cell_classifier.extractor.extract(
-        table, probabilities
-    )
-    stages["cell_features"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    pipeline.cell_classifier.predict_from_features(
-        positions, cell_features
-    )
-    stages["cell_prediction"] = time.perf_counter() - start
-    return stages
+    The pipeline's own :data:`~repro.obs.PIPELINE_STAGES` spans are
+    the single source of truth: the bench report and a ``--trace``
+    file are two renderings of the same measurements, never two
+    timing implementations that can drift apart.  The run is cold —
+    caches were detached by the caller — so the stages sum to the
+    cold cost of one analyze.
+    """
+    ambient = get_tracer()
+    # Under ``repro bench --trace`` the CLI already activated a real
+    # tracer; record into it so the breakdown's spans appear in the
+    # trace file.  Otherwise use a private tracer just for this read.
+    tracer = ambient if isinstance(ambient, Tracer) else Tracer()
+    first = len(tracer.spans)
+    with activate(tracer):
+        # Encoding resolution over the raw bytes — the stage every
+        # entry point pays before the text exists at all.
+        decoded, _ = decode_bytes(text.encode("utf-8"))
+        # No pre-detected dialect: detection and parsing run (and are
+        # measured) inside the hardened ingestion stage.
+        table = crop_table(ingest_text(decoded).table)
+        # The compute-once columnar primitives every extractor
+        # shares; materializing them under their own span leaves the
+        # feature stages measuring pure consumption of the profile.
+        with tracer.span("profile"):
+            table_profile(table).materialize()
+        inference = pipeline.line_classifier.infer(table)
+        pipeline.cell_classifier.predict(
+            table, line_inference=inference
+        )
+    return tracer.durations(PIPELINE_STAGES, first)
 
 
 def _cv_results_identical(a: CVResult, b: CVResult) -> bool:
@@ -230,14 +214,15 @@ def _bench_cv(config: BenchConfig, corpus: Corpus) -> dict:
     cached = run(cache)
     cached_seconds = time.perf_counter() - start
 
+    cache_stats = cache.stats()
     return {
         "uncached_seconds": uncached_seconds,
         "cached_seconds": cached_seconds,
         "speedup": uncached_seconds / cached_seconds,
         "byte_identical": _cv_results_identical(uncached, cached),
         "macro_f1": uncached.scores.macro_f1,
-        "cache_hits": cache.hits,
-        "cache_misses": cache.misses,
+        "cache_hits": cache_stats["hits"],
+        "cache_misses": cache_stats["misses"],
     }
 
 
@@ -279,6 +264,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
     stages = _stage_breakdown(pipeline, text)
     cv = _bench_cv(config, corpus)
 
+    cache_stats = cache.stats()
     return {
         "schema": BENCH_SCHEMA,
         "config": asdict(config),
@@ -293,8 +279,8 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
             # Headline: repeated traffic over known content against
             # the pre-PR two-pass baseline.
             "analyze_speedup": legacy_seconds / cached_seconds,
-            "cache_hits": cache.hits,
-            "cache_misses": cache.misses,
+            "cache_hits": cache_stats["hits"],
+            "cache_misses": cache_stats["misses"],
         },
         "cv": cv,
     }

@@ -26,7 +26,13 @@ benchmark runs over a fixed corpus).
 
 The cache is thread-safe: concurrent ``get_or_compute`` calls may
 race to compute the same entry, but both compute identical arrays
-(extraction is deterministic), so last-write-wins is harmless.
+(extraction is deterministic), so last-write-wins is harmless.  The
+hit/miss/eviction counters are mutated under the same lock and must
+be read through :meth:`FeatureCache.stats`, which snapshots them all
+under that lock — reading the attributes directly can observe a torn
+state mid-update.  Every event is mirrored into the process-local
+:mod:`repro.obs` metrics registry (``feature_cache.hits`` /
+``feature_cache.misses`` / ``feature_cache.evictions``).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs import get_metrics
 from repro.types import Table
 
 #: Byte separators that make the row/cell flattening injective.
@@ -108,6 +115,7 @@ class FeatureCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -118,6 +126,22 @@ class FeatureCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """A consistent snapshot of the counters, taken under the lock.
+
+        This is the only supported way to *read* ``hits`` / ``misses``
+        / ``evictions`` — concurrent lookups mutate them under the
+        lock, so unlocked attribute reads can tear (e.g. a hit counted
+        before its entry refresh is visible).
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+            }
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> tuple[np.ndarray, ...] | None:
@@ -131,15 +155,19 @@ class FeatureCache:
             if value is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return value
+        if value is not None:
+            get_metrics().increment("feature_cache.hits")
+            return value
         value = self._load_from_disk(key)
         if value is not None:
             with self._lock:
                 self.hits += 1
                 self._admit(key, value)
+            get_metrics().increment("feature_cache.hits")
             return value
         with self._lock:
             self.misses += 1
+        get_metrics().increment("feature_cache.misses")
         return None
 
     def put(self, key: str, value: tuple[np.ndarray, ...]) -> None:
@@ -172,8 +200,13 @@ class FeatureCache:
         """Insert under the held lock and enforce the memory bound."""
         self._entries[key] = value
         self._entries.move_to_end(key)
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            get_metrics().increment("feature_cache.evictions", evicted)
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> Path | None:

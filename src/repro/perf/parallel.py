@@ -13,17 +13,40 @@ here guarantee that by construction:
 
 ``parallel_map`` prefers a thread pool (cheap start-up; numpy releases
 the GIL in its hot kernels) and can opt into a process pool for
-CPU-bound pure-Python work such as tree induction.  Any failure to
-stand up or use a process pool — missing ``fork``, unpicklable
-payload, a sandbox without ``sem_open`` — degrades to the sequential
-path, which is always equivalent.
+CPU-bound pure-Python work such as tree induction.  A failure to
+stand up or use the pool *itself* — missing ``fork``, unpicklable
+payload, a sandbox without ``sem_open``, a worker killed from outside
+— degrades to the sequential path, which is always equivalent, and
+the degradation is recorded (a ``parallel.pool_degraded`` metric plus
+a ``RuntimeWarning``) so a silently-sequential deployment cannot
+masquerade as a parallel one.  An exception raised by the work
+function is **not** infrastructure: it propagates immediately and the
+work is never re-run.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import get_metrics
+
+#: Failures of the pool machinery (never of the work function): the
+#: payload cannot be shipped, the pool cannot be created in this
+#: environment, or its workers died out from under it.
+_POOL_FAILURES = (pickle.PicklingError, BrokenProcessPool, OSError)
+
+#: What ``pickle.dumps`` raises for a callable that cannot be shipped
+#: to a worker process: PicklingError for a module-attribute mismatch,
+#: AttributeError for a local function/lambda/closure, TypeError for
+#: objects whose reduction is forbidden outright.  Checked *before*
+#: the pool exists, in the main thread, so these types can never be
+#: confused with an exception the work function raised in a worker.
+_UNPICKLABLE_CALLABLE = (pickle.PicklingError, AttributeError, TypeError)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,6 +72,22 @@ def _sequential_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
     return [fn(item) for item in items]
 
 
+def _degrade_to_sequential(exc: BaseException) -> None:
+    """Record a pool degradation loudly: metric plus RuntimeWarning.
+
+    Heavy-traffic deployments must be able to see when their
+    parallelism silently became 1x; a counter alone is not enough for
+    interactive runs, a warning alone is not enough for dashboards.
+    """
+    get_metrics().increment("parallel.pool_degraded")
+    warnings.warn(
+        f"process pool unavailable, degrading to sequential "
+        f"execution: {type(exc).__name__}: {exc}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -71,7 +110,10 @@ def parallel_map(
         ``"threads"`` (default) or ``"processes"``.  Processes fall
         back to the sequential path if the pool cannot be created or
         the payload cannot be shipped; the result is identical either
-        way because each item is independent.
+        way because each item is independent.  Exceptions raised by
+        ``fn`` itself propagate unchanged — a work error is never
+        retried sequentially (it would run the work twice and mask
+        the real failure as a perf degradation).
     """
     if prefer not in ("threads", "processes"):
         raise ValueError(f"unknown executor preference: {prefer!r}")
@@ -80,15 +122,27 @@ def parallel_map(
     if jobs <= 1:
         return _sequential_map(fn, work)
     if prefer == "processes":
+        # Pre-flight the function's picklability here in the main
+        # thread, where the exception type is unambiguous.  A worker
+        # can legitimately raise AttributeError or TypeError *from the
+        # work itself*; catching those around ``pool.map`` would mask
+        # a work error as a perf degradation and re-run the work — the
+        # exact silent failure this module exists to prevent.
+        try:
+            pickle.dumps(fn)
+        except _UNPICKLABLE_CALLABLE as exc:
+            _degrade_to_sequential(exc)
+            return _sequential_map(fn, work)
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 return list(pool.map(fn, work))
-        except Exception:
-            # Pools are an optimization, never a requirement: any
-            # failure (pickling, missing fork/semaphores, dying
-            # worker) silently degrades to the equivalent sequential
-            # computation.  Inputs are re-used untouched — process
-            # workers only ever saw copies.
+        except _POOL_FAILURES as exc:
+            # Pools are an optimization, never a requirement: when the
+            # pool *infrastructure* fails (an unshippable work item,
+            # missing fork/semaphores, dying workers) the equivalent
+            # sequential computation takes over.  Inputs are re-used
+            # untouched — process workers only ever saw copies.
+            _degrade_to_sequential(exc)
             return _sequential_map(fn, work)
     with ThreadPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(fn, work))

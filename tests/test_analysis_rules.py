@@ -31,9 +31,11 @@ def rule_ids(findings):
 # Framework
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005"]
+        assert ids == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        ]
 
     def test_rules_have_metadata(self):
         for rule in all_rules():
@@ -429,4 +431,42 @@ class TestMutableDefaults:
 
     def test_immutable_defaults_allowed(self):
         findings = lint("def f(x=(), y=0, z='s'):\n    return x\n")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R006 — wall-clock timing
+# ----------------------------------------------------------------------
+class TestWallClockTiming:
+    def test_time_time_call_flagged(self):
+        findings = lint(
+            """
+            import time
+            started = time.time()
+            """
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_from_time_import_time_flagged(self):
+        findings = lint("from time import time\n")
+        assert rule_ids(findings) == ["R006"]
+
+    def test_perf_counter_allowed(self):
+        findings = lint(
+            """
+            import time
+            started = time.perf_counter()
+            elapsed = time.perf_counter() - started
+            """
+        )
+        assert findings == []
+
+    def test_monotonic_and_other_time_imports_allowed(self):
+        findings = lint(
+            """
+            from time import perf_counter, monotonic
+            a = perf_counter()
+            b = monotonic()
+            """
+        )
         assert findings == []

@@ -7,6 +7,8 @@ it computes — parity tests compare byte-for-byte.
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,7 @@ from repro.errors import InvalidParameterError
 from repro.eval.runner import cross_validate_lines
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.model_selection import attach_feature_cache
+from repro.obs import get_metrics
 from repro.perf.bench import (
     BenchConfig,
     configs_comparable,
@@ -107,6 +110,21 @@ def test_cache_lru_eviction_order():
     assert cache.get("c") is not None
 
 
+def test_cache_stats_is_a_locked_snapshot_with_evictions():
+    cache = FeatureCache(max_entries=2)
+    cache.put("a", (np.zeros(1),))
+    cache.put("b", (np.ones(1),))
+    cache.put("c", (np.full(1, 2.0),))  # evicts "a"
+    cache.get("b")
+    cache.get("a")  # miss: evicted
+    stats = cache.stats()
+    assert stats == {
+        "hits": 1, "misses": 1, "evictions": 1, "size": 2
+    }
+    # The snapshot mirrors into the process-local metrics registry.
+    assert get_metrics().counter("feature_cache.evictions") >= 1
+
+
 def test_cache_rejects_nonpositive_bound():
     with pytest.raises(InvalidParameterError):
         FeatureCache(max_entries=0)
@@ -158,12 +176,69 @@ def test_parallel_map_preserves_order():
 
 def test_parallel_map_processes_fall_back_on_unpicklable_work():
     # Lambdas cannot be shipped to a process pool; the helper must
-    # degrade to the (equivalent) sequential path instead of raising.
+    # degrade to the (equivalent) sequential path instead of raising —
+    # and must say so, not degrade silently.
     items = list(range(8))
-    result = parallel_map(
-        lambda x: x + 1, items, n_jobs=4, prefer="processes"
-    )
+    with pytest.warns(RuntimeWarning, match="degrading to sequential"):
+        result = parallel_map(
+            lambda x: x + 1, items, n_jobs=4, prefer="processes"
+        )
     assert result == [x + 1 for x in items]
+
+
+class _Unpicklable:
+    """A payload the pool machinery can never ship to a worker."""
+
+    def __reduce__(self):
+        raise pickle.PicklingError("not shippable")
+
+
+def _type_name(item) -> str:
+    return type(item).__name__
+
+
+def test_parallel_map_pool_degradation_is_recorded():
+    # Infrastructure failure (unpicklable *payload*, not a work
+    # error): correct results via the sequential path, plus a warning
+    # and a metrics counter so the degradation is observable.
+    items = [_Unpicklable(), _Unpicklable()]
+    before = get_metrics().counter("parallel.pool_degraded")
+    with pytest.warns(RuntimeWarning, match="PicklingError"):
+        result = parallel_map(
+            _type_name, items, n_jobs=2, prefer="processes"
+        )
+    assert result == ["_Unpicklable", "_Unpicklable"]
+    assert get_metrics().counter("parallel.pool_degraded") == before + 1
+
+
+def _record_and_maybe_fail(arg: tuple[str, int]) -> int:
+    """Append a marker per invocation (visible across processes),
+    then fail on the designated item."""
+    path, item = arg
+    with open(path, "a") as handle:
+        handle.write(f"{item}\n")
+    if item == 3:
+        raise ValueError(f"work error on item {item}")
+    return item
+
+
+@pytest.mark.parametrize("prefer", ["threads", "processes"])
+def test_parallel_map_work_error_propagates_exactly_once(
+    tmp_path, prefer
+):
+    # A work-function exception is NOT pool infrastructure: it must
+    # surface with its original type, and the failing item must have
+    # run exactly once — never re-run sequentially after the pool
+    # already executed it (the old bare-except masked the error and
+    # doubled the work).
+    marker = tmp_path / f"calls-{prefer}.txt"
+    work = [(str(marker), item) for item in range(6)]
+    with pytest.raises(ValueError, match="work error on item 3"):
+        parallel_map(
+            _record_and_maybe_fail, work, n_jobs=2, prefer=prefer
+        )
+    calls = marker.read_text().splitlines()
+    assert calls.count("3") == 1
 
 
 def test_parallel_map_rejects_unknown_preference():
