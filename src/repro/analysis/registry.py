@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.analysis.findings import Finding
+    from repro.analysis.graph import ProjectGraph
     from repro.analysis.runner import ModuleInfo
 
 _RULE_ID_PATTERN = re.compile(r"^R\d{3}$")
@@ -54,6 +55,39 @@ class Rule:
             col=col,
             rule_id=self.rule_id,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (R100-series) rules.
+
+    Subclasses implement :meth:`check_project` over the
+    :class:`~repro.analysis.graph.ProjectGraph` the runner builds once
+    per invocation from *all* modules in scope; :meth:`check` is a
+    deliberate no-op so a project rule mixed into the per-module loop
+    contributes nothing twice.  The runner routes findings through the
+    same per-line suppression filter as per-module rules, keyed by the
+    finding's path.
+    """
+
+    def check(self, module: "ModuleInfo") -> Iterator["Finding"]:
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectGraph"
+    ) -> Iterator["Finding"]:
+        """Yield findings over the whole project model."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> "Finding":
+        """Finding constructor for sites identified by explicit path."""
+        from repro.analysis.findings import Finding
+
+        return Finding(
+            path=path, line=line, col=col,
+            rule_id=self.rule_id, message=message,
         )
 
 

@@ -3,8 +3,13 @@
 from repro.analysis.rules import (  # noqa: F401 - imports register rules
     contracts,
     defaults,
+    errorflow,
+    ingest_gate,
     iteration,
     layers,
+    locks,
+    metric_names,
     rng,
+    spans,
     timing,
 )

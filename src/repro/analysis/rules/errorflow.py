@@ -1,0 +1,119 @@
+"""R102 — exceptions escaping public APIs must be typed ReproErrors.
+
+The library's contract (PR 5) is that callers of the public pipeline
+surface — ``fit`` / ``analyze`` / ``predict``, the CLI, the evaluation
+drivers, the ingestion front door — can catch :class:`ReproError` at
+the boundary without swallowing unrelated programming errors.  A raw
+``ValueError`` raised three calls deep breaks that contract silently:
+no test notices until a caller's ``except ReproError`` misses it in
+production.  This rule runs the interprocedural raise-propagation
+analysis (:mod:`repro.analysis.flow`) from every declared entry point
+and reports the *origin raise site* of each untyped escape, so the fix
+(or an explicit ``# repro: noqa[R102]`` waiver) lands exactly where
+the exception is born.
+
+Flagged builtins are ``ValueError`` / ``TypeError`` / ``KeyError`` /
+``RuntimeError``.  Two deliberate exemptions: ``IndexError``, because
+the sequence protocol in :mod:`repro.types` raises it as part of the
+*language* contract (``for`` loops depend on it), and
+``NotImplementedError`` (a ``RuntimeError`` subclass), because it is
+the abstract-method idiom — the base raise is never reached through a
+concrete subclass and signals a programming error, not a library
+failure.  Implicit exceptions (failing subscripts, arithmetic) are
+invisible to the analysis — the rule covers deliberate raises, which
+is where a typed hierarchy is an author's choice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import PUBLIC_ENTRY_POINTS, EscapeAnalysis
+from repro.analysis.graph import ProjectGraph
+from repro.analysis.registry import ProjectRule, register
+
+_FLAGGED_BUILTINS = (
+    "builtins.ValueError",
+    "builtins.TypeError",
+    "builtins.KeyError",
+    "builtins.RuntimeError",
+)
+
+#: Never flagged even though they subclass a flagged builtin: the
+#: abstract-method idiom raises NotImplementedError from base classes
+#: whose concrete subclasses always override it.
+_EXEMPT = ("builtins.NotImplementedError",)
+
+#: Any project class with this name anchors the typed hierarchy.
+_ROOT_ERROR_NAME = "ReproError"
+
+
+@register
+class UntypedEscapeRule(ProjectRule):
+    rule_id = "R102"
+    title = "untyped exception can escape a public API"
+    rationale = (
+        "Public entry points promise ReproError-typed failures so "
+        "callers can catch one base class at the boundary; a raw "
+        "ValueError/TypeError/KeyError escaping fit/analyze/the CLI "
+        "breaks that promise in a way no behaviour test observes."
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterator[Finding]:
+        entries = [
+            qualname
+            for qualname in PUBLIC_ENTRY_POINTS
+            if qualname in project.functions
+        ]
+        if not entries:
+            return
+        analysis = EscapeAnalysis(project)
+        roots = [
+            qualname
+            for qualname in sorted(project.classes)
+            if qualname.rpartition(".")[2] == _ROOT_ERROR_NAME
+        ]
+        # origin -> entry points it escapes from (dedup across entries).
+        offenders: dict[tuple[str, int, int, str], list[str]] = {}
+        for entry in entries:
+            for exception, origins in sorted(
+                analysis.escaping(entry).items()
+            ):
+                if not self._flagged(analysis, exception, roots):
+                    continue
+                for origin in sorted(origins):
+                    key = (
+                        origin.path, origin.line, origin.col,
+                        origin.exception,
+                    )
+                    offenders.setdefault(key, []).append(entry)
+        for (path, line, col, exception), reached in sorted(
+            offenders.items()
+        ):
+            shown = ", ".join(reached[:3])
+            if len(reached) > 3:
+                shown += f", … ({len(reached)} entry points)"
+            name = exception.rpartition(".")[2]
+            yield self.project_finding(
+                path, line, col,
+                f"{name} raised here can escape the public API "
+                f"untyped (reaches {shown}); raise a ReproError "
+                "subclass at the boundary",
+            )
+
+    @staticmethod
+    def _flagged(
+        analysis: EscapeAnalysis, exception: str, roots: list[str]
+    ) -> bool:
+        if any(analysis.derives_from(exception, root) for root in roots):
+            return False
+        if any(
+            analysis.is_subclass_of(exception, exempt)
+            for exempt in _EXEMPT
+        ):
+            return False
+        return any(
+            analysis.is_subclass_of(exception, builtin)
+            for builtin in _FLAGGED_BUILTINS
+        )

@@ -1,0 +1,119 @@
+"""R101 — bytes must become a ``Table`` only through ``io.ingest``.
+
+PR 4's hardened front door exists so that no stray byte sequence can
+reach dialect detection or the feature extractors: every decode —
+encoding fallbacks, BOM stripping, NUL repair, size limits — happens
+in :mod:`repro.io.ingest`, under a policy, with a report.  A function
+elsewhere that decodes bytes *and* can reach a
+:class:`repro.types.Table` construction without passing through the
+ingest module has re-opened the hole the fuzz harness guards, and the
+fuzzer can only catch it if its corpus happens to exercise that path.
+This rule closes it statically: decode sites are syntactic (a
+``.decode(...)`` / ``.read_bytes()`` / ``codecs.decode`` / binary
+``open``), Table reachability is computed over the project call graph
+with ``repro.io.ingest`` treated as an opaque, trusted boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import ProjectGraph
+from repro.analysis.registry import ProjectRule, register
+
+#: Modules allowed to decode bytes into tables (the trusted boundary);
+#: the reachability walk does not descend into them either.
+_INGEST_MODULES = ("repro.io.ingest",)
+
+_TABLE_SUFFIX = ".types.Table"
+
+
+def _is_table_class(qualname: str) -> bool:
+    return qualname == "types.Table" or qualname.endswith(_TABLE_SUFFIX)
+
+
+def _in_ingest(module_name: str) -> bool:
+    return any(
+        module_name == m or module_name.startswith(m + ".")
+        for m in _INGEST_MODULES
+    )
+
+
+def _decode_site(node: ast.Call) -> str | None:
+    """A human-readable label when ``node`` is a bytes-decoding call."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # Covers both `raw.decode(...)` and `codecs.decode(raw, ...)`.
+        if func.attr == "decode":
+            return ".decode()"
+        if func.attr == "read_bytes":
+            return ".read_bytes()"
+    if isinstance(func, ast.Name) and func.id == "open":
+        if len(node.args) >= 2:
+            mode = node.args[1]
+            if isinstance(mode, ast.Constant) and isinstance(
+                mode.value, str
+            ) and "b" in mode.value:
+                return "open(..., 'rb')"
+    return None
+
+
+@register
+class IngestGateRule(ProjectRule):
+    rule_id = "R101"
+    title = "bytes-to-Table path outside the ingest front door"
+    rationale = (
+        "Every byte-level repair (encoding fallback, BOM, NULs, size "
+        "limits) lives in repro.io.ingest; a decode that can reach a "
+        "Table construction anywhere else bypasses the policy and the "
+        "report, recreating the crash class the hardened front door "
+        "retired."
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterator[Finding]:
+        for qualname in sorted(project.functions):
+            func = project.functions[qualname]
+            if _in_ingest(func.module.name):
+                continue
+            decode_sites = [
+                (node, label)
+                for node in ast.walk(func.node)
+                if isinstance(node, ast.Call)
+                for label in (_decode_site(node),)
+                if label is not None
+            ]
+            if not decode_sites:
+                continue
+            construction = self._reachable_table_construction(
+                project, qualname
+            )
+            if construction is None:
+                continue
+            where, line = construction
+            for node, label in decode_sites:
+                yield self.project_finding(
+                    str(func.module.info.path),
+                    node.lineno,
+                    node.col_offset,
+                    f"{label} here can reach a Table construction at "
+                    f"{where}:{line} without passing through "
+                    "repro.io.ingest; bytes must enter through the "
+                    "hardened front door",
+                )
+
+    @staticmethod
+    def _reachable_table_construction(
+        project: ProjectGraph, qualname: str
+    ) -> tuple[str, int] | None:
+        for reached in project.reachable_from(
+            qualname, skip_module_prefixes=_INGEST_MODULES
+        ):
+            func = project.functions.get(reached)
+            if func is not None and _in_ingest(func.module.name):
+                continue
+            for site in project.instantiations_in(reached):
+                if _is_table_class(site.class_qualname):
+                    return reached, site.line
+        return None

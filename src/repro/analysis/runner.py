@@ -8,7 +8,12 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.findings import Finding
-from repro.analysis.registry import Rule, all_rules, get_rule
+from repro.analysis.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
 from repro.analysis.suppressions import collect_suppressions, is_suppressed
 
 
@@ -93,16 +98,47 @@ def _resolve_rules(select: Sequence[str] | None) -> list[Rule]:
 
 
 def lint_modules(
-    modules: Iterable[ModuleInfo], select: Sequence[str] | None = None
+    modules: Iterable[ModuleInfo],
+    select: Sequence[str] | None = None,
+    graph: bool = True,
 ) -> list[Finding]:
-    """Run the (selected) rules over already-parsed modules."""
+    """Run the (selected) rules over already-parsed modules.
+
+    Per-module rules see one module at a time; project
+    (:class:`~repro.analysis.registry.ProjectRule`) rules see a
+    :class:`~repro.analysis.graph.ProjectGraph` built once from every
+    module in scope.  ``graph=False`` skips the project rules (and the
+    graph build) entirely — the CLI's ``--no-graph``.
+    """
+    module_list = list(modules)
     rules = _resolve_rules(select)
+    if not graph:
+        rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    local_rules = [r for r in rules if not isinstance(r, ProjectRule)]
     findings: list[Finding] = []
-    for module in modules:
-        for rule in rules:
+    for module in module_list:
+        for rule in local_rules:
             for finding in rule.check(module):
                 if is_suppressed(
                     module.suppressions, finding.line, finding.rule_id
+                ):
+                    continue
+                findings.append(finding)
+    if project_rules and module_list:
+        from repro.analysis.graph import ProjectGraph
+
+        project = ProjectGraph.build(module_list)
+        suppressions_by_path = {
+            str(module.path): module.suppressions
+            for module in module_list
+        }
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                if is_suppressed(
+                    suppressions_by_path.get(finding.path, {}),
+                    finding.line,
+                    finding.rule_id,
                 ):
                     continue
                 findings.append(finding)
@@ -110,7 +146,9 @@ def lint_modules(
 
 
 def lint_paths(
-    paths: Sequence[Path], select: Sequence[str] | None = None
+    paths: Sequence[Path],
+    select: Sequence[str] | None = None,
+    graph: bool = True,
 ) -> list[Finding]:
     """Lint every ``.py`` file under ``paths``; the main entry point.
 
@@ -133,7 +171,9 @@ def lint_paths(
                     message=f"file does not parse: {error.msg}",
                 )
             )
-    return sorted(lint_modules(modules, select=select) + parse_errors)
+    return sorted(
+        lint_modules(modules, select=select, graph=graph) + parse_errors
+    )
 
 
 def lint_source(
@@ -141,6 +181,7 @@ def lint_source(
     module: str = "fixture",
     path: str | Path = "<string>",
     select: Sequence[str] | None = None,
+    graph: bool = True,
 ) -> list[Finding]:
     """Lint one in-memory snippet (rule unit tests use this)."""
     info = ModuleInfo(
@@ -150,4 +191,28 @@ def lint_source(
         tree=ast.parse(source),
         suppressions=collect_suppressions(source),
     )
-    return lint_modules([info], select=select)
+    return lint_modules([info], select=select, graph=graph)
+
+
+def lint_sources(
+    sources: dict[str, str],
+    select: Sequence[str] | None = None,
+    graph: bool = True,
+) -> list[Finding]:
+    """Lint several in-memory modules as one project.
+
+    ``sources`` maps dotted module names to source text; each module's
+    synthetic path is ``<name>``.  This is how the R100-series fixture
+    tests build multi-module programs without touching the filesystem.
+    """
+    modules = [
+        ModuleInfo(
+            path=Path(f"<{name}>"),
+            module=name,
+            source=source,
+            tree=ast.parse(source),
+            suppressions=collect_suppressions(source),
+        )
+        for name, source in sorted(sources.items())
+    ]
+    return lint_modules(modules, select=select, graph=graph)

@@ -127,8 +127,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     lint.add_argument(
-        "--select",
-        help="comma-separated rule ids to run (default: all)",
+        "--select", action="append",
+        help="rule ids to run; comma-separated and/or repeated "
+             "(--select R002,R101 --select R005; default: all)",
+    )
+    lint.add_argument(
+        "--no-graph", action="store_true",
+        help="skip the whole-program rules (R101-R105); per-module "
+             "rules only",
     )
 
     bench = commands.add_parser(
@@ -328,12 +334,12 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
             print(f"repro lint: no such path: {path}", file=sys.stderr)
         return 2
     select = (
-        [s for s in args.select.split(",") if s.strip()]
+        [s for chunk in args.select for s in chunk.split(",") if s.strip()]
         if args.select
         else None
     )
     try:
-        findings = lint_paths(paths, select=select)
+        findings = lint_paths(paths, select=select, graph=not args.no_graph)
     except ConfigurationError as error:
         print(f"repro lint: {error}", file=sys.stderr)
         return 2

@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.derived import DerivedDetector
+from repro.errors import InvalidParameterError
 from repro.core.profile import table_profile
 from repro.types import CONTENT_CLASSES, MISSING_NEIGHBOR, Table
 
@@ -144,7 +145,7 @@ class CellFeatureExtractor:
                 (n_rows, n_classes), 1.0 / n_classes
             )
         if line_probabilities.shape != (n_rows, n_classes):
-            raise ValueError(
+            raise InvalidParameterError(
                 f"line_probabilities must have shape "
                 f"({n_rows}, {n_classes}), got "
                 f"{line_probabilities.shape}"

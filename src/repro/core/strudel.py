@@ -36,7 +36,11 @@ import numpy as np
 from repro.core.cell_features import CellFeatureExtractor
 from repro.core.line_features import LineFeatureExtractor
 from repro.dialect.dialect import Dialect
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import (
+    ConfigurationError,
+    InvalidParameterError,
+    NotFittedError,
+)
 from repro.io.cropping import crop_table
 from repro.io.ingest import IngestPolicy, IngestReport, ingest_text
 from repro.core.profile import table_profile
@@ -187,7 +191,7 @@ class StrudelLineClassifier:
         index = {name: i for i, name in enumerate(names)}
         missing = [n for n in self.feature_subset if n not in index]
         if missing:
-            raise ValueError(f"unknown line features: {missing}")
+            raise InvalidParameterError(f"unknown line features: {missing}")
         return np.array([index[n] for n in self.feature_subset])
 
     # ------------------------------------------------------------------
@@ -370,7 +374,7 @@ class StrudelCellClassifier:
         index = {name: i for i, name in enumerate(names)}
         missing = [n for n in self.feature_subset if n not in index]
         if missing:
-            raise ValueError(f"unknown cell features: {missing}")
+            raise InvalidParameterError(f"unknown cell features: {missing}")
         return np.array([index[n] for n in self.feature_subset])
 
     # ------------------------------------------------------------------

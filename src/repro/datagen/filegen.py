@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datagen import vocab
+from repro.errors import GenerationError
 from repro.datagen.spec import FileSpec, TableSpec
 from repro.datagen.values import draw_values, format_value
 from repro.types import AnnotatedFile, CellClass, Table
@@ -38,7 +39,7 @@ class FileBuilder:
         ``EMPTY`` label regardless of what the caller passed.
         """
         if len(values) != len(cell_classes):
-            raise ValueError("values and cell_classes differ in length")
+            raise GenerationError("values and cell_classes differ in length")
         cleaned = [
             CellClass.EMPTY if not value.strip() else label
             for value, label in zip(values, cell_classes)

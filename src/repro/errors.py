@@ -65,6 +65,12 @@ class MalformedInputError(IngestError):
     that lenient mode would repair and report instead."""
 
 
+class EvaluationError(ReproError):
+    """Raised when an evaluation run is inconsistent with itself: zero
+    score sets to average, or folds that cannot be formed from the
+    grouped corpus."""
+
+
 class ConfigurationError(ReproError):
     """Raised when the library itself is mis-assembled: an invalid
     static-analysis rule declaration, a cyclic layer graph, or a

@@ -21,6 +21,7 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
+from repro.errors import EvaluationError
 from repro.obs import get_metrics, get_tracer
 from repro.ml.metrics import (
     accuracy_score,
@@ -80,7 +81,7 @@ class ClassificationScores:
     ) -> "ClassificationScores":
         """Mean of several score sets (the paper's repetition average)."""
         if not scores:
-            raise ValueError("cannot average zero score sets")
+            raise EvaluationError("cannot average zero score sets")
         labels = list(scores[0].per_class_f1)
         return cls(
             per_class_f1={

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import NotFittedError
+from repro.errors import InvalidParameterError, NotFittedError
 
 
 def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -16,15 +16,15 @@ def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
     if X.ndim != 2:
-        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        raise InvalidParameterError(f"X must be 2-dimensional, got shape {X.shape}")
     if y.ndim != 1:
-        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+        raise InvalidParameterError(f"y must be 1-dimensional, got shape {y.shape}")
     if X.shape[0] != y.shape[0]:
-        raise ValueError(
+        raise InvalidParameterError(
             f"X has {X.shape[0]} samples but y has {y.shape[0]} labels"
         )
     if X.shape[0] == 0:
-        raise ValueError("cannot fit an estimator on zero samples")
+        raise InvalidParameterError("cannot fit an estimator on zero samples")
     return X, y.astype(np.int64)
 
 
@@ -32,9 +32,9 @@ def check_X(X: np.ndarray, n_features: int) -> np.ndarray:
     """Validate a prediction-time feature matrix against the fitted width."""
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
-        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        raise InvalidParameterError(f"X must be 2-dimensional, got shape {X.shape}")
     if X.shape[1] != n_features:
-        raise ValueError(
+        raise InvalidParameterError(
             f"X has {X.shape[1]} features; estimator was fitted on "
             f"{n_features}"
         )

@@ -13,12 +13,14 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
+
 
 def _align(y_true: Sequence, y_pred: Sequence) -> tuple[list, list]:
     y_true = list(y_true)
     y_pred = list(y_pred)
     if len(y_true) != len(y_pred):
-        raise ValueError(
+        raise InvalidParameterError(
             f"y_true has {len(y_true)} items, y_pred has {len(y_pred)}"
         )
     return y_true, y_pred

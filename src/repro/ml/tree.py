@@ -91,7 +91,9 @@ class DecisionTreeClassifier:
         else:
             sample_weight = np.asarray(sample_weight, dtype=np.float64)
             if sample_weight.shape != y.shape:
-                raise ValueError("sample_weight must match y in length")
+                raise InvalidParameterError(
+                    "sample_weight must match y in length"
+                )
 
         rng = as_generator(self.random_state)
         n_candidates = self._resolve_max_features(self.n_features_)

@@ -21,6 +21,31 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
+#: Every metric name the pipeline may emit.  The metric-name lint
+#: (R104) requires each ``increment``/``gauge``/``observe``/``time``
+#: call site outside this module to use a literal from this tuple; a
+#: trailing ``.*`` entry declares a wildcard family for dynamic names
+#: built from a literal prefix (the per-corpus cache gauges).  Keep
+#: this list in sync with the glossary in ``docs/observability.md``.
+METRIC_NAMES: tuple[str, ...] = (
+    "cv.folds",
+    "cv.fold_seconds",
+    "cv.feature_cache_attached",
+    "feature_cache.hits",
+    "feature_cache.misses",
+    "feature_cache.evictions",
+    "feature_cache.*",
+    "parallel.pool_degraded",
+    "ingest.files",
+    "ingest.recovered",
+    "ingest.bom_stripped",
+    "ingest.replacement_chars",
+    "ingest.nul_chars",
+    "ingest.truncated_bytes",
+    "ingest.unterminated_quote",
+    "ingest.dialect_fallback",
+)
+
 
 class Metrics:
     """A thread-safe registry of counters, gauges and timers.

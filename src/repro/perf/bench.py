@@ -47,6 +47,7 @@ from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import make_corpus
 from repro.datagen.filegen import generate_file
 from repro.datagen.spec import FileSpec, TableSpec
+from repro.errors import InvalidParameterError
 from repro.eval.runner import CVResult, cross_validate_lines
 from repro.io.cropping import crop_table
 from repro.io.ingest import decode_bytes, ingest_text
@@ -349,7 +350,7 @@ def diff_reports(
     never gate.
     """
     if tolerance < 0:
-        raise ValueError("tolerance must be non-negative")
+        raise InvalidParameterError("tolerance must be non-negative")
     current_metrics = _timing_metrics(current)
     baseline_metrics = _timing_metrics(baseline)
     shared = [m for m in baseline_metrics if m in current_metrics]

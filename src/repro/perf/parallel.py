@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.errors import InvalidParameterError
 from repro.obs import get_metrics
 
 #: Failures of the pool machinery (never of the work function): the
@@ -116,7 +117,9 @@ def parallel_map(
         the real failure as a perf degradation).
     """
     if prefer not in ("threads", "processes"):
-        raise ValueError(f"unknown executor preference: {prefer!r}")
+        raise InvalidParameterError(
+            f"unknown executor preference: {prefer!r}"
+        )
     work = list(items)
     jobs = effective_jobs(n_jobs, len(work))
     if jobs <= 1:

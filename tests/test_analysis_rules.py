@@ -35,6 +35,7 @@ class TestRegistry:
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == [
             "R001", "R002", "R003", "R004", "R005", "R006",
+            "R101", "R102", "R103", "R104", "R105",
         ]
 
     def test_rules_have_metadata(self):

@@ -170,6 +170,52 @@ class TestLint:
         assert code == 1
         assert json.loads(out.getvalue())["by_rule"] == {"R005": 1}
 
+    @staticmethod
+    def _ingest_bypass_tree(tmp_path):
+        """A mini repro-shaped tree where a module decodes bytes into a
+        Table outside io.ingest (triggers the project rule R101)."""
+        pkg = tmp_path / "repro"
+        (pkg / "io").mkdir(parents=True)
+        (pkg / "types.py").write_text(
+            "class Table:\n    pass\n", encoding="utf-8"
+        )
+        (pkg / "io" / "ingest.py").write_text(
+            "from repro.types import Table\n"
+            "\n"
+            "def ingest_bytes(raw):\n"
+            "    return Table()\n",
+            encoding="utf-8",
+        )
+        (pkg / "sneaky.py").write_text(
+            "from repro.types import Table\n"
+            "\n"
+            "def shortcut(raw):\n"
+            "    return Table(raw.decode('utf-8'))\n",
+            encoding="utf-8",
+        )
+        return pkg
+
+    def test_select_accepts_commas_and_repeats(self, tmp_path):
+        import json
+
+        pkg = self._ingest_bypass_tree(tmp_path)
+        out = io.StringIO()
+        code = main(
+            ["lint", str(pkg), "--format", "json",
+             "--select", "R002,R101", "--select", "R005"],
+            out=out,
+        )
+        assert code == 1
+        assert json.loads(out.getvalue())["by_rule"] == {"R101": 1}
+
+    def test_no_graph_skips_project_rules(self, tmp_path):
+        pkg = self._ingest_bypass_tree(tmp_path)
+        out = io.StringIO()
+        assert main(["lint", str(pkg)], out=out) == 1
+        assert "R101" in out.getvalue()
+        out = io.StringIO()
+        assert main(["lint", str(pkg), "--no-graph"], out=out) == 0
+
     def test_shipped_package_is_clean(self):
         out = io.StringIO()
         assert main(["lint"], out=out) == 0
@@ -180,6 +226,14 @@ class TestLint:
         out = io.StringIO()
         assert main(
             ["lint", str(clean), "--select", "R999"], out=out
+        ) == 2
+
+    def test_unknown_rule_in_comma_list_is_usage_error(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        out = io.StringIO()
+        assert main(
+            ["lint", str(clean), "--select", "R005,R999"], out=out
         ) == 2
 
     def test_missing_path_is_usage_error(self, tmp_path):

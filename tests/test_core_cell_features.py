@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import InvalidParameterError
+
 from repro.core.cell_features import (
     CELL_FEATURE_GROUPS,
     CELL_FEATURE_NAMES,
@@ -90,7 +92,7 @@ class TestContentFeatures:
         assert np.allclose(features[:, column], 1.0)
 
     def test_probability_shape_validated(self, verbose_table):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             CellFeatureExtractor().extract(
                 verbose_table, np.zeros((2, 6))
             )

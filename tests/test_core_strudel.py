@@ -11,7 +11,7 @@ from repro.core.strudel import (
     StrudelLineClassifier,
     StrudelPipeline,
 )
-from repro.errors import NotFittedError
+from repro.errors import InvalidParameterError, NotFittedError
 from repro.io.writer import write_csv_text
 from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.types import CellClass, Table
@@ -70,7 +70,7 @@ class TestStrudelLine:
     def test_unknown_feature_subset_raises(self, train_test_files_module):
         train, _ = train_test_files_module
         model = StrudelLineClassifier(feature_subset=("nope",))
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             model.fit(train)
 
     def test_custom_backbone(self, train_test_files_module):

@@ -59,7 +59,7 @@ class TestFileBuilder:
 
     def test_length_mismatch_raises(self):
         builder = FileBuilder()
-        with pytest.raises(ValueError):
+        with pytest.raises(GenerationError):
             builder.add_row(["a"], [], CellClass.DATA)
 
 

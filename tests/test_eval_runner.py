@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import EvaluationError
+
 from repro.core.strudel import StrudelLineClassifier
 from repro.eval.runner import (
     ClassificationScores,
@@ -96,7 +98,7 @@ class TestScores:
         assert mean.per_class_f1[CellClass.DATA] == 0.5
 
     def test_average_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(EvaluationError):
             ClassificationScores.average([])
 
 

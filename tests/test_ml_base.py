@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import NotFittedError
+from repro.errors import InvalidParameterError, NotFittedError
 from repro.ml.base import (
     check_fitted,
     check_X,
@@ -21,19 +21,19 @@ class TestCheckXy:
         assert y.dtype == np.int64
 
     def test_rejects_1d_X(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             check_X_y(np.zeros(3), np.zeros(3))
 
     def test_rejects_2d_y(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             check_X_y(np.zeros((3, 2)), np.zeros((3, 1)))
 
     def test_rejects_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             check_X_y(np.zeros((3, 2)), np.zeros(2))
 
     def test_rejects_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             check_X_y(np.zeros((0, 2)), np.zeros(0))
 
 
@@ -43,11 +43,11 @@ class TestCheckX:
         assert X.shape == (1, 2)
 
     def test_rejects_width_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             check_X(np.zeros((1, 3)), n_features=2)
 
     def test_rejects_1d(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             check_X(np.zeros(3), n_features=3)
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+
+from repro.errors import InvalidParameterError
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -27,7 +29,7 @@ class TestAccuracy:
         assert accuracy_score([], []) == 0.0
 
     def test_length_mismatch_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             accuracy_score([1], [1, 2])
 
 

@@ -92,7 +92,7 @@ class TestConstraints:
         assert np.array_equal(tree.predict(X), np.zeros(4, dtype=int))
 
     def test_sample_weight_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             DecisionTreeClassifier().fit(
                 np.zeros((3, 1)), np.array([0, 1, 0]),
                 sample_weight=np.ones(2),
@@ -114,7 +114,7 @@ class TestPrediction:
     def test_feature_count_mismatch_raises(self):
         X, y = _xor_data()
         tree = DecisionTreeClassifier(random_state=0).fit(X, y)
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             tree.predict(np.zeros((1, 3)))
 
     def test_determinism_under_seed(self):

@@ -242,7 +242,7 @@ def test_parallel_map_work_error_propagates_exactly_once(
 
 
 def test_parallel_map_rejects_unknown_preference():
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidParameterError):
         parallel_map(int, [1], n_jobs=2, prefer="greenlets")
 
 
@@ -461,7 +461,7 @@ def test_diff_reports_new_and_missing_metrics_not_gated():
 
 
 def test_diff_reports_rejects_negative_tolerance():
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidParameterError):
         diff_reports(_fake_report(), _fake_report(), tolerance=-0.1)
 
 
