@@ -57,6 +57,11 @@ NODE_BY_PREFIX: dict[str, str] = {
     # profile is core-internal infrastructure, not a new layer.
     "repro.core.profile": "core",
     "repro.core": "core",
+    # Compiled forest inference is declared explicitly for the same
+    # reason as the profile above: it is ml-internal infrastructure
+    # (ml.forest compiles into it, ml.persistence stores its tensors)
+    # that sits below the estimators, not a new layer.
+    "repro.ml.compiled": "ml",
     "repro.ml": "ml",
     "repro.baselines": "baselines",
     "repro.datagen": "datagen",

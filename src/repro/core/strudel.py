@@ -117,6 +117,37 @@ def align_class_probabilities(
     return aligned
 
 
+#: Class objects on the canonical six-class axis, as an object array
+#: so a whole argmax vector maps to labels in one ``take`` instead of
+#: a Python loop (the loop showed up in the cell-prediction profile).
+_CLASS_BY_INDEX = np.array(
+    [INDEX_TO_CLASS[i] for i in range(len(CONTENT_CLASSES))],
+    dtype=object,
+)
+
+
+def _labels_from(aligned: np.ndarray) -> list[CellClass]:
+    """Most probable class per row of an aligned probability matrix."""
+    return list(_CLASS_BY_INDEX.take(np.argmax(aligned, axis=1)))
+
+
+def _apply_columns(
+    features: np.ndarray, columns: np.ndarray
+) -> np.ndarray:
+    """Apply a fitted feature-subset selection.
+
+    When the selection is the identity (no ``feature_subset``
+    configured — the common case) the matrix is returned as-is: a
+    fancy column slice would copy the whole matrix on every predict
+    call for nothing.
+    """
+    if columns.size == features.shape[1] and np.array_equal(
+        columns, np.arange(features.shape[1])
+    ):
+        return features
+    return features[:, columns]
+
+
 @dataclass
 class LineInference:
     """One table's line-level inference, computed in a single pass.
@@ -278,7 +309,7 @@ class StrudelLineClassifier:
         self._require_fitted()
         with get_tracer().span("line_prediction"):
             raw = self._model.predict_proba(
-                features[:, self._columns]
+                _apply_columns(features, self._columns)
             )
             return align_class_probabilities(
                 raw, self._model.classes_, features.shape[0]
@@ -315,7 +346,7 @@ class StrudelLineClassifier:
         if inference is None:
             inference = self.infer(table)
         proba = inference.probabilities
-        labels = [INDEX_TO_CLASS[int(k)] for k in np.argmax(proba, axis=1)]
+        labels = _labels_from(proba)
         return [
             CellClass.EMPTY if table.is_empty_row(i) else labels[i]
             for i in range(table.n_rows)
@@ -405,6 +436,18 @@ class StrudelCellClassifier:
             positions = [(int(i), int(j)) for i, j in positions_array]
             return positions, features
 
+    def extract_cells(
+        self, table: Table, probabilities: np.ndarray
+    ) -> tuple[list[tuple[int, int]], np.ndarray]:
+        """Public face of the cell feature pass: positions and the
+        full feature matrix for every non-empty cell.
+
+        Callers that want to time or batch prediction separately from
+        extraction (the benchmark's throughput probes, the future
+        serving path) pair this with :meth:`predict_from_features`.
+        """
+        return self._extract_cells(table, probabilities)
+
     def _pack_extraction(
         self, table: Table, probabilities: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -475,16 +518,12 @@ class StrudelCellClassifier:
             if not positions:
                 return [], []
             raw = self._model.predict_proba(
-                features[:, self._columns]
+                _apply_columns(features, self._columns)
             )
             aligned = align_class_probabilities(
                 raw, self._model.classes_, features.shape[0]
             )
-            labels = [
-                INDEX_TO_CLASS[int(k)]
-                for k in np.argmax(aligned, axis=1)
-            ]
-            return positions, labels
+            return positions, _labels_from(aligned)
 
     def predict_with_positions(
         self,

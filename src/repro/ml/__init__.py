@@ -22,6 +22,7 @@ plus metrics, grouped/repeated cross-validation and permutation
 feature importance.
 """
 
+from repro.ml.compiled import CompiledForest
 from repro.ml.crf import LinearChainCRF
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.importance import permutation_importance
@@ -40,6 +41,7 @@ from repro.ml.svm import LinearSVM
 from repro.ml.tree import DecisionTreeClassifier
 
 __all__ = [
+    "CompiledForest",
     "DecisionTreeClassifier",
     "GaussianNaiveBayes",
     "GroupKFold",

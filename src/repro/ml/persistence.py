@@ -6,6 +6,12 @@ module serializes the random-forest family to a directory containing
 a JSON manifest plus one compressed ``.npz`` with all arrays — no
 arbitrary code execution on load, unlike pickle.
 
+Since format version 2 the stored arrays are the forest's *compiled*
+inference tensors (:class:`~repro.ml.compiled.CompiledForest`), so a
+loaded model predicts through the packed fast path immediately;
+version-1 bundles (one array set per tree) still load and compile
+lazily on first predict.
+
 Supported objects:
 
 * :class:`~repro.ml.tree.DecisionTreeClassifier`
@@ -27,10 +33,18 @@ from repro.core.line_features import LineFeatureExtractor
 from repro.core.strudel import StrudelCellClassifier, StrudelLineClassifier
 from repro.errors import NotFittedError, ReproError
 from repro.io.ingest import IngestPolicy, decode_path
+from repro.ml.compiled import CompiledForest
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.tree import DecisionTreeClassifier
 
-FORMAT_VERSION = 1
+#: Version 2 stores the forest as its *compiled* tensors (one array
+#: set for the whole forest, probabilities pre-aligned to the global
+#: class order) instead of per-tree ``tree{i}_*`` arrays — a load is
+#: then predict-ready without a compile pass.  Version-1 bundles are
+#: still read (and recompiled on first predict).
+FORMAT_VERSION = 2
+
+_SUPPORTED_VERSIONS = frozenset({1, FORMAT_VERSION})
 
 #: Manifests are UTF-8 JSON we wrote ourselves: tolerate a BOM (some
 #: transports add one) but reject undecodable bytes outright rather
@@ -45,19 +59,6 @@ class PersistenceError(ReproError):
 # ----------------------------------------------------------------------
 # Trees
 # ----------------------------------------------------------------------
-def _tree_arrays(tree: DecisionTreeClassifier, prefix: str) -> dict:
-    if tree._proba is None:
-        raise NotFittedError("cannot save an unfitted tree")
-    return {
-        f"{prefix}feature": tree._feature,
-        f"{prefix}threshold": tree._threshold,
-        f"{prefix}left": tree._left,
-        f"{prefix}right": tree._right,
-        f"{prefix}proba": tree._proba,
-        f"{prefix}classes": tree.classes_,
-    }
-
-
 def _tree_from_arrays(arrays: dict, prefix: str,
                       n_features: int) -> DecisionTreeClassifier:
     tree = DecisionTreeClassifier()
@@ -75,14 +76,27 @@ def _tree_from_arrays(arrays: dict, prefix: str,
 # Forests
 # ----------------------------------------------------------------------
 def save_forest(forest: RandomForestClassifier, directory: str | Path) -> None:
-    """Write a fitted forest as ``manifest.json`` + ``arrays.npz``."""
+    """Write a fitted forest as ``manifest.json`` + ``arrays.npz``.
+
+    The arrays are the compiled inference tensors: nine forest-wide
+    arrays whatever the tree count, instead of six arrays per tree.
+    """
     if forest.estimators_ is None:
         raise NotFittedError("cannot save an unfitted forest")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    arrays: dict = {"classes": forest.classes_}
-    for index, tree in enumerate(forest.estimators_):
-        arrays.update(_tree_arrays(tree, prefix=f"tree{index}_"))
+    compiled = forest.compile()
+    arrays: dict = {
+        "classes": compiled.classes_,
+        "feature": compiled._feature,
+        "threshold": compiled._threshold,
+        "left": compiled._left,
+        "right": compiled._right,
+        "proba": compiled._proba,
+        "roots": compiled._roots,
+        "tree_classes": compiled._tree_classes,
+        "tree_class_offsets": compiled._tree_class_offsets,
+    }
     np.savez_compressed(directory / "arrays.npz", **arrays)
     manifest = {
         "format_version": FORMAT_VERSION,
@@ -116,7 +130,7 @@ def _read_manifest(directory: Path, expected_kind: str) -> dict:
         raise PersistenceError(
             f"malformed manifest.json in {directory}: {exc}"
         ) from exc
-    if manifest.get("format_version") != FORMAT_VERSION:
+    if manifest.get("format_version") not in _SUPPORTED_VERSIONS:
         raise PersistenceError(
             f"unsupported format version {manifest.get('format_version')}"
         )
@@ -129,7 +143,14 @@ def _read_manifest(directory: Path, expected_kind: str) -> dict:
 
 
 def load_forest(directory: str | Path) -> RandomForestClassifier:
-    """Load a forest saved by :func:`save_forest`."""
+    """Load a forest saved by :func:`save_forest`.
+
+    Version-2 bundles hand their tensors straight to
+    :class:`CompiledForest` (the loaded model is predict-ready, no
+    compile pass) and reconstruct ``estimators_`` by decompiling them;
+    version-1 bundles read the per-tree arrays and compile lazily on
+    first predict.
+    """
     directory = Path(directory)
     manifest = _read_manifest(directory, "random_forest")
     arrays = dict(np.load(directory / "arrays.npz", allow_pickle=False))
@@ -145,10 +166,40 @@ def load_forest(directory: str | Path) -> RandomForestClassifier:
     )
     forest.classes_ = arrays["classes"]
     forest.n_features_ = manifest["n_features"]
-    forest.estimators_ = [
-        _tree_from_arrays(arrays, f"tree{index}_", manifest["n_features"])
-        for index in range(manifest["n_estimators"])
-    ]
+    if manifest["format_version"] >= 2:
+        try:
+            compiled = CompiledForest(
+                feature=arrays["feature"],
+                threshold=arrays["threshold"],
+                left=arrays["left"],
+                right=arrays["right"],
+                proba=arrays["proba"],
+                roots=arrays["roots"],
+                classes=arrays["classes"],
+                n_features=manifest["n_features"],
+                tree_classes=arrays["tree_classes"],
+                tree_class_offsets=arrays["tree_class_offsets"],
+            )
+        except KeyError as exc:
+            raise PersistenceError(
+                f"version-2 bundle in {directory} is missing the "
+                f"compiled array {exc}"
+            ) from exc
+        if compiled.n_trees != manifest["n_estimators"]:
+            raise PersistenceError(
+                f"manifest declares {manifest['n_estimators']} trees "
+                f"but the tensors pack {compiled.n_trees}"
+            )
+        forest._compiled = compiled
+        forest.estimators_ = compiled.decompile()
+    else:
+        forest.estimators_ = [
+            _tree_from_arrays(
+                arrays, f"tree{index}_", manifest["n_features"]
+            )
+            for index in range(manifest["n_estimators"])
+        ]
+    forest._aligned_columns()  # populate eagerly, as fit() does
     return forest
 
 

@@ -28,6 +28,8 @@ from typing import Iterator
 #: built from a literal prefix (the per-corpus cache gauges).  Keep
 #: this list in sync with the glossary in ``docs/observability.md``.
 METRIC_NAMES: tuple[str, ...] = (
+    "compiled_forest.compiles",
+    "compiled_forest.nodes",
     "cv.folds",
     "cv.fold_seconds",
     "cv.feature_cache_attached",

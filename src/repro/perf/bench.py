@@ -137,41 +137,92 @@ def _legacy_two_pass(pipeline: StrudelPipeline, text: str) -> None:
 
 
 def _stage_breakdown(
-    pipeline: StrudelPipeline, text: str
+    pipeline: StrudelPipeline, text: str, repeats: int = 1
 ) -> dict[str, float]:
-    """Per-stage seconds for one single-pass analyze, read from the
+    """Per-stage seconds for a single-pass analyze, read from the
     spans the instrumented pipeline emits.
 
     The pipeline's own :data:`~repro.obs.PIPELINE_STAGES` spans are
     the single source of truth: the bench report and a ``--trace``
     file are two renderings of the same measurements, never two
-    timing implementations that can drift apart.  The run is cold —
-    caches were detached by the caller — so the stages sum to the
-    cold cost of one analyze.
+    timing implementations that can drift apart.  Runs are cold in
+    the cache sense — feature caches were detached by the caller —
+    and the traced analyze is repeated ``repeats`` times with the
+    per-stage **median** reported, the same noise treatment every
+    other timing in the harness gets (a single traced run can swing
+    tens of percent on a busy machine, which at millisecond stage
+    budgets is pure noise).
     """
     ambient = get_tracer()
     # Under ``repro bench --trace`` the CLI already activated a real
     # tracer; record into it so the breakdown's spans appear in the
     # trace file.  Otherwise use a private tracer just for this read.
     tracer = ambient if isinstance(ambient, Tracer) else Tracer()
-    first = len(tracer.spans)
-    with activate(tracer):
-        # Encoding resolution over the raw bytes — the stage every
-        # entry point pays before the text exists at all.
-        decoded, _ = decode_bytes(text.encode("utf-8"))
-        # No pre-detected dialect: detection and parsing run (and are
-        # measured) inside the hardened ingestion stage.
-        table = crop_table(ingest_text(decoded).table)
-        # The compute-once columnar primitives every extractor
-        # shares; materializing them under their own span leaves the
-        # feature stages measuring pure consumption of the profile.
-        with tracer.span("profile"):
-            table_profile(table).materialize()
-        inference = pipeline.line_classifier.infer(table)
-        pipeline.cell_classifier.predict(
-            table, line_inference=inference
-        )
-    return tracer.durations(PIPELINE_STAGES, first)
+    samples: list[dict[str, float]] = []
+    for _ in range(max(1, repeats)):
+        first = len(tracer.spans)
+        with activate(tracer):
+            # Encoding resolution over the raw bytes — the stage
+            # every entry point pays before the text exists at all.
+            decoded, _ = decode_bytes(text.encode("utf-8"))
+            # No pre-detected dialect: detection and parsing run (and
+            # are measured) inside the hardened ingestion stage.
+            table = crop_table(ingest_text(decoded).table)
+            # The compute-once columnar primitives every extractor
+            # shares; materializing them under their own span leaves
+            # the feature stages measuring pure consumption of the
+            # profile.
+            with tracer.span("profile"):
+                table_profile(table).materialize()
+            inference = pipeline.line_classifier.infer(table)
+            pipeline.cell_classifier.predict(
+                table, line_inference=inference
+            )
+        samples.append(tracer.durations(PIPELINE_STAGES, first))
+    return {
+        stage: sorted(run[stage] for run in samples)[len(samples) // 2]
+        for stage in samples[0]
+    }
+
+
+def _bench_prediction(
+    pipeline: StrudelPipeline, text: str, repeats: int
+) -> dict:
+    """Inference throughput of the two prediction stages.
+
+    Features are extracted once up front so the probes time *pure*
+    prediction — the quantity the compiled forest optimises and the
+    one a serving deployment is provisioned by.  Rows/sec counts
+    table lines through line prediction; cells/sec counts non-empty
+    cells through cell prediction.
+    """
+    table = _parse(text)
+    line = pipeline.line_classifier
+    cells = pipeline.cell_classifier
+    inference = line.infer(table)
+    positions, features = cells.extract_cells(
+        table, inference.probabilities
+    )
+    line_seconds = _median_seconds(
+        lambda: line.predict_proba_from_features(inference.features),
+        repeats,
+    )
+    cell_seconds = _median_seconds(
+        lambda: cells.predict_from_features(positions, features),
+        repeats,
+    )
+    return {
+        "rows": table.n_rows,
+        "cells": len(positions),
+        "line_seconds": line_seconds,
+        "cell_seconds": cell_seconds,
+        "rows_per_second": (
+            table.n_rows / line_seconds if line_seconds > 0 else 0.0
+        ),
+        "cells_per_second": (
+            len(positions) / cell_seconds if cell_seconds > 0 else 0.0
+        ),
+    }
 
 
 def _cv_results_identical(a: CVResult, b: CVResult) -> bool:
@@ -262,7 +313,8 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
     )
     pipeline.set_feature_cache(None)
 
-    stages = _stage_breakdown(pipeline, text)
+    stages = _stage_breakdown(pipeline, text, config.repeats)
+    prediction = _bench_prediction(pipeline, text, config.repeats)
     cv = _bench_cv(config, corpus)
 
     cache_stats = cache.stats()
@@ -271,6 +323,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
         "config": asdict(config),
         "fit_seconds": fit_seconds,
         "stages": stages,
+        "prediction": prediction,
         "analyze": {
             "legacy_two_pass_seconds": legacy_seconds,
             "single_pass_seconds": single_pass_seconds,
@@ -332,7 +385,34 @@ def _timing_metrics(report: dict) -> dict[str, float]:
     cv = report["cv"]
     for key in ("uncached_seconds", "cached_seconds"):
         metrics[f"cv.{key}"] = cv[key]
+    prediction = report.get("prediction")
+    if prediction is not None:
+        metrics["prediction.line_seconds"] = prediction["line_seconds"]
+        metrics["prediction.cell_seconds"] = prediction["cell_seconds"]
     return metrics
+
+
+#: Ratio metrics compared by :func:`diff_reports` alongside the
+#: timings.  These are **higher-is-better** (a speedup), so the
+#: regression test is inverted: the metric regresses when the current
+#: value falls below ``baseline * (1 - tolerance)``.  ``cv.speedup``
+#: lives here so a cache that quietly stops paying for itself (the
+#: 0.97x episode this guards against) fails the diff instead of
+#: rotting in the report.
+_RATIO_METRICS: tuple[str, ...] = ("cv.speedup",)
+
+
+def _ratio_metrics(report: dict) -> dict[str, float]:
+    """Flat ``metric name -> ratio`` view of a report's speedups.
+
+    Tolerates reports recorded before a ratio existed — the diff
+    simply skips metrics absent from either side.
+    """
+    ratios: dict[str, float] = {}
+    speedup = report.get("cv", {}).get("speedup")
+    if speedup is not None:
+        ratios["cv.speedup"] = speedup
+    return ratios
 
 
 def diff_reports(
@@ -369,9 +449,28 @@ def diff_reports(
         }
         if regressed:
             regressions.append(metric)
+    current_ratios = _ratio_metrics(current)
+    baseline_ratios = _ratio_metrics(baseline)
+    ratio_entries = {}
+    for metric in _RATIO_METRICS:
+        if metric not in current_ratios or metric not in baseline_ratios:
+            continue
+        before = baseline_ratios[metric]
+        after = current_ratios[metric]
+        # Higher is better: regression means the speedup shrank by
+        # more than the tolerance, not that it grew.
+        regressed = bool(after < before * (1.0 - tolerance))
+        ratio_entries[metric] = {
+            "baseline_ratio": before,
+            "current_ratio": after,
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(metric)
     return {
         "tolerance": tolerance,
         "metrics": entries,
+        "ratios": ratio_entries,
         "regressions": regressions,
         "only_in_current": sorted(
             m for m in current_metrics if m not in baseline_metrics
@@ -393,6 +492,13 @@ def format_diff(diff: dict) -> str:
             f"  {metric:<32} {entry['baseline_seconds']:>8.3f}s ->"
             f" {entry['current_seconds']:>8.3f}s"
             f"  ({entry['ratio']:.2f}x) {marker}".rstrip()
+        )
+    for metric, entry in diff.get("ratios", {}).items():
+        marker = "REGRESSED" if entry["regressed"] else ""
+        lines.append(
+            f"  {metric:<32} {entry['baseline_ratio']:>8.2f}x ->"
+            f" {entry['current_ratio']:>8.2f}x"
+            f"  (higher is better) {marker}".rstrip()
         )
     for metric in diff["only_in_current"]:
         lines.append(f"  {metric:<32} (new metric, not gated)")
@@ -430,6 +536,19 @@ def format_summary(report: dict) -> str:
     for stage, seconds in report["stages"].items():
         share = seconds / total if total else 0.0
         lines.append(f"  {stage:<20} {seconds:>8.3f}s {share:>6.1%}")
+    prediction = report.get("prediction")
+    if prediction is not None:
+        lines.extend(
+            [
+                "prediction throughput (features pre-extracted):",
+                f"  lines  {prediction['rows']:>6} in "
+                f"{prediction['line_seconds']:.4f}s  "
+                f"({prediction['rows_per_second']:,.0f} rows/s)",
+                f"  cells  {prediction['cells']:>6} in "
+                f"{prediction['cell_seconds']:.4f}s  "
+                f"({prediction['cells_per_second']:,.0f} cells/s)",
+            ]
+        )
     lines.extend(
         [
             "analyze:",

@@ -113,6 +113,9 @@ class FeatureCache:
             OrderedDict()
         )
         self._lock = threading.Lock()
+        # The registry is resolved once: ``get`` sits on the CV hot
+        # path, where a per-hit lookup is measurable noise.
+        self._metrics = get_metrics()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -156,18 +159,18 @@ class FeatureCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
         if value is not None:
-            get_metrics().increment("feature_cache.hits")
+            self._metrics.increment("feature_cache.hits")
             return value
         value = self._load_from_disk(key)
         if value is not None:
             with self._lock:
                 self.hits += 1
                 self._admit(key, value)
-            get_metrics().increment("feature_cache.hits")
+            self._metrics.increment("feature_cache.hits")
             return value
         with self._lock:
             self.misses += 1
-        get_metrics().increment("feature_cache.misses")
+        self._metrics.increment("feature_cache.misses")
         return None
 
     def put(self, key: str, value: tuple[np.ndarray, ...]) -> None:
@@ -206,7 +209,7 @@ class FeatureCache:
             evicted += 1
         if evicted:
             self.evictions += evicted
-            get_metrics().increment("feature_cache.evictions", evicted)
+            self._metrics.increment("feature_cache.evictions", evicted)
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> Path | None:

@@ -42,6 +42,108 @@ class TestForestPersistence:
         )
         assert np.array_equal(forest.classes_, restored.classes_)
 
+    def test_round_trip_is_byte_identical(self, tmp_path, training_data):
+        X, y = training_data
+        forest = RandomForestClassifier(
+            n_estimators=7, random_state=0
+        ).fit(X, y)
+        save_forest(forest, tmp_path / "model")
+        restored = load_forest(tmp_path / "model")
+        assert restored.predict_proba(X).tobytes() == (
+            forest.predict_proba(X).tobytes()
+        )
+
+    def test_version_2_bundle_is_predict_ready(
+        self, tmp_path, training_data
+    ):
+        # A v2 load hands the tensors straight to CompiledForest: no
+        # compile pass should run on first predict.
+        X, y = training_data
+        forest = RandomForestClassifier(
+            n_estimators=5, random_state=0
+        ).fit(X, y)
+        save_forest(forest, tmp_path / "model")
+        manifest = json.loads(
+            (tmp_path / "model" / "manifest.json").read_text()
+        )
+        assert manifest["format_version"] == 2
+        restored = load_forest(tmp_path / "model")
+        assert restored._compiled is not None
+        # estimators_ are decompiled back, so the legacy path and
+        # feature importances still work on a loaded model.
+        assert len(restored.estimators_) == 5
+        assert restored.legacy_predict_proba(X).tobytes() == (
+            forest.legacy_predict_proba(X).tobytes()
+        )
+
+    def test_version_1_bundle_still_loads(self, tmp_path, training_data):
+        # Hand-write the old per-tree array layout with a version-1
+        # manifest: it must load and predict identically, compiling
+        # lazily on first predict.
+        X, y = training_data
+        forest = RandomForestClassifier(
+            n_estimators=3, random_state=0
+        ).fit(X, y)
+        directory = tmp_path / "legacy"
+        directory.mkdir()
+        arrays = {"classes": forest.classes_}
+        for index, tree in enumerate(forest.estimators_):
+            prefix = f"tree{index}_"
+            arrays[f"{prefix}feature"] = tree._feature
+            arrays[f"{prefix}threshold"] = tree._threshold
+            arrays[f"{prefix}left"] = tree._left
+            arrays[f"{prefix}right"] = tree._right
+            arrays[f"{prefix}proba"] = tree._proba
+            arrays[f"{prefix}classes"] = tree.classes_
+        np.savez_compressed(directory / "arrays.npz", **arrays)
+        manifest = {
+            "format_version": 1,
+            "kind": "random_forest",
+            "n_estimators": 3,
+            "n_features": forest.n_features_,
+            "params": {
+                "max_depth": None,
+                "min_samples_split": 2,
+                "min_samples_leaf": 1,
+                "max_features": "sqrt",
+                "bootstrap": True,
+            },
+        }
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        restored = load_forest(directory)
+        assert restored._compiled is None  # compiles on first predict
+        assert restored.predict_proba(X).tobytes() == (
+            forest.predict_proba(X).tobytes()
+        )
+
+    def test_version_2_missing_array_rejected(
+        self, tmp_path, training_data
+    ):
+        X, y = training_data
+        forest = RandomForestClassifier(
+            n_estimators=2, random_state=0
+        ).fit(X, y)
+        save_forest(forest, tmp_path / "model")
+        archive = tmp_path / "model" / "arrays.npz"
+        arrays = dict(np.load(archive, allow_pickle=False))
+        del arrays["roots"]
+        np.savez_compressed(archive, **arrays)
+        with pytest.raises(PersistenceError, match="missing"):
+            load_forest(tmp_path / "model")
+
+    def test_tree_count_mismatch_rejected(self, tmp_path, training_data):
+        X, y = training_data
+        forest = RandomForestClassifier(
+            n_estimators=2, random_state=0
+        ).fit(X, y)
+        save_forest(forest, tmp_path / "model")
+        manifest_path = tmp_path / "model" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["n_estimators"] = 5
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="tensors pack"):
+            load_forest(tmp_path / "model")
+
     def test_unfitted_forest_rejected(self, tmp_path):
         with pytest.raises(NotFittedError):
             save_forest(RandomForestClassifier(), tmp_path / "x")

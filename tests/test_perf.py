@@ -372,11 +372,23 @@ def test_run_benchmark_smoke(tmp_path):
     }
     assert report["analyze"]["cache_hits"] > 0
 
+    prediction = report["prediction"]
+    assert prediction["rows"] > 0 and prediction["cells"] > 0
+    assert prediction["line_seconds"] > 0
+    assert prediction["cell_seconds"] > 0
+    assert prediction["rows_per_second"] == pytest.approx(
+        prediction["rows"] / prediction["line_seconds"]
+    )
+    assert prediction["cells_per_second"] == pytest.approx(
+        prediction["cells"] / prediction["cell_seconds"]
+    )
+
     path = write_report(report, tmp_path / "BENCH_pipeline.json")
     assert path.exists()
     summary = format_summary(report)
     assert "single-pass + cache" in summary
     assert "byte-identical" in summary
+    assert "rows/s" in summary and "cells/s" in summary
 
     assert "profile" in report["stages"]
 
@@ -414,7 +426,11 @@ def _fake_report(**overrides) -> dict:
             "single_pass_seconds": 0.2,
             "cached_seconds": 0.05,
         },
-        "cv": {"uncached_seconds": 0.8, "cached_seconds": 0.5},
+        "cv": {
+            "uncached_seconds": 0.8,
+            "cached_seconds": 0.5,
+            "speedup": 1.6,
+        },
     }
     report.update(overrides)
     return report
@@ -457,6 +473,49 @@ def test_diff_reports_new_and_missing_metrics_not_gated():
     diff = diff_reports(current, baseline)
     assert diff["only_in_current"] == ["stages.profile"]
     assert diff["only_in_baseline"] == ["stages.parsing"]
+    assert diff["regressions"] == []
+
+
+def test_diff_reports_ratio_metrics_gate_on_shrinkage():
+    # cv.speedup is higher-is-better: the regression test inverts.
+    baseline = _fake_report()
+    current = _fake_report(
+        cv={"uncached_seconds": 0.8, "cached_seconds": 0.6,
+            "speedup": 1.3}  # -19%: inside the 25% tolerance
+    )
+    diff = diff_reports(current, baseline)
+    assert diff["ratios"]["cv.speedup"]["regressed"] is False
+    assert "cv.speedup" not in diff["regressions"]
+
+    current = _fake_report(
+        cv={"uncached_seconds": 0.8, "cached_seconds": 0.82,
+            "speedup": 0.97}  # the cache stopped paying for itself
+    )
+    diff = diff_reports(current, baseline)
+    assert diff["ratios"]["cv.speedup"]["regressed"] is True
+    assert "cv.speedup" in diff["regressions"]
+    rendered = format_diff(diff)
+    assert "higher is better" in rendered
+    assert "REGRESSED" in rendered
+
+
+def test_diff_reports_ratio_growth_never_gates():
+    baseline = _fake_report()
+    current = _fake_report(
+        cv={"uncached_seconds": 0.8, "cached_seconds": 0.2,
+            "speedup": 4.0}
+    )
+    diff = diff_reports(current, baseline)
+    assert diff["regressions"] == []
+
+
+def test_diff_reports_tolerates_baseline_without_ratios():
+    # Baselines recorded before cv.speedup existed must still diff.
+    baseline = _fake_report(
+        cv={"uncached_seconds": 0.8, "cached_seconds": 0.5}
+    )
+    diff = diff_reports(_fake_report(), baseline)
+    assert diff["ratios"] == {}
     assert diff["regressions"] == []
 
 
