@@ -42,6 +42,7 @@ PUBLIC_ENTRY_POINTS: tuple[str, ...] = (
     "repro.cli.main",
     "repro.core.strudel.StrudelPipeline.fit",
     "repro.core.strudel.StrudelPipeline.analyze",
+    "repro.core.strudel.StrudelPipeline.analyze_bytes",
     "repro.core.strudel.StrudelPipeline.analyze_table",
     "repro.core.strudel.StrudelLineClassifier.fit",
     "repro.core.strudel.StrudelLineClassifier.predict",

@@ -48,6 +48,12 @@ NODE_BY_PREFIX: dict[str, str] = {
     "repro.io.ingest": "io",
     "repro.io": "io",
     "repro.perf.bench": "bench",
+    # The corpus engine drives whole sweeps through the fitted
+    # pipeline, so unlike the rest of ``repro.perf`` it must sit
+    # *above* ``core`` and ``io`` — it is its own node, importable by
+    # eval/bench/app, while ``perf.pool``/``perf.parallel`` stay in
+    # the low ``perf`` node below ``core``.
+    "repro.perf.engine": "perf.engine",
     "repro.perf": "perf",
     # The columnar TableProfile is declared explicitly: it sits at the
     # *bottom* of core (datatypes/keywords below it, every extractor
@@ -88,6 +94,15 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "core": frozenset(
         {"dialect", "errors", "io", "obs", "perf", "types", "util"}
     ),
+    # The persistent-worker corpus engine: pools and the sweep cache
+    # from ``perf``, the pipeline from ``core``, ingestion policy from
+    # ``io``.  ``ml`` is *not* a dependency — the engine fingerprints
+    # models through the classifier protocol, never by importing the
+    # forest.
+    "perf.engine": frozenset(
+        {"core", "dialect", "errors", "io", "obs", "perf", "types",
+         "util"}
+    ),
     "ml": frozenset(
         {"core", "dialect", "errors", "io", "obs", "perf", "types",
          "util"}
@@ -101,13 +116,13 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "eval": frozenset(
         {
             "baselines", "core", "datagen", "dialect", "errors", "io",
-            "ml", "obs", "perf", "types", "util",
+            "ml", "obs", "perf", "perf.engine", "types", "util",
         }
     ),
     "bench": frozenset(
         {
             "core", "datagen", "dialect", "errors", "eval", "io",
-            "ml", "obs", "perf", "types", "util",
+            "ml", "obs", "perf", "perf.engine", "types", "util",
         }
     ),
     # The ingestion fuzz harness mutates datagen corpora at the byte
@@ -123,7 +138,7 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
         {
             "analysis", "baselines", "bench", "core", "datagen",
             "dialect", "errors", "eval", "fuzz", "io", "ml", "obs",
-            "perf", "types", "util",
+            "perf", "perf.engine", "types", "util",
         }
     ),
 }

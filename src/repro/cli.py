@@ -7,7 +7,10 @@ Three commands cover the zero-to-working workflow:
 ``classify``
     Train a Strudel pipeline on a generated corpus personality and
     print every line of the input file with its predicted class
-    (``--cells`` adds the per-cell view).
+    (``--cells`` adds the per-cell view).  Pointed at a *directory*,
+    it sweeps every ``*.csv`` through the persistent-worker corpus
+    engine instead (``--jobs`` for parallel workers, ``--sweep-cache``
+    for the content-addressed result cache).
 ``generate``
     Materialize a corpus personality on disk as CSV files plus JSON
     ground-truth annotations, for experimentation outside Python.
@@ -46,6 +49,7 @@ from repro.fuzz import FuzzConfig, format_fuzz_report, run_fuzz
 from repro.io.annotations import save_annotated_file
 from repro.io.ingest import IngestPolicy, IngestResult, ingest_path
 from repro.io.writer import write_csv_text
+from repro.perf.engine import CorpusEngine
 from repro.obs import (
     TRACE_FORMATS,
     Tracer,
@@ -82,7 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_flags(detect)
 
     classify = commands.add_parser(
-        "classify", help="classify the lines (and cells) of a CSV file"
+        "classify",
+        help="classify the lines (and cells) of a CSV file, or sweep "
+             "a whole directory of them through the corpus engine",
     )
     classify.add_argument("file", type=Path)
     classify.add_argument(
@@ -102,6 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
     classify.add_argument(
         "--cells", action="store_true",
         help="also print cell classes for mixed lines",
+    )
+    classify.add_argument(
+        "--sweep-cache", type=Path, default=None, metavar="DIR",
+        help="directory-sweep result cache (content-addressed; "
+             "re-sweeping unchanged files is near-free)",
     )
     _add_ingest_flags(classify)
     _add_trace_flags(classify)
@@ -259,12 +270,8 @@ def _cmd_detect(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_classify(args: argparse.Namespace, out) -> int:
-    try:
-        ingested = _ingest_input(args)
-    except IngestError as error:
-        print(f"repro: {args.file}: {error}", file=sys.stderr)
-        return 2
+def _train_pipeline(args: argparse.Namespace, out) -> StrudelPipeline:
+    """Fit the classify command's pipeline on a generated corpus."""
     print(
         f"training on corpus={args.corpus} scale={args.scale:g} "
         f"trees={args.trees} ...",
@@ -275,7 +282,64 @@ def _cmd_classify(args: argparse.Namespace, out) -> int:
         n_estimators=args.trees, random_state=args.seed,
         n_jobs=args.jobs,
     )
-    pipeline.fit(corpus.files)
+    return pipeline.fit(corpus.files)
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    """Directory mode of ``classify``: sweep every CSV through the
+    persistent-worker corpus engine."""
+    paths = sorted(args.file.glob("*.csv"))
+    if not paths:
+        print(f"repro: {args.file}: no *.csv files", file=sys.stderr)
+        return 2
+    pipeline = _train_pipeline(args, out)
+    policy = IngestPolicy(
+        strict=args.strict, encoding=args.encoding or None
+    )
+    with CorpusEngine(
+        pipeline,
+        n_jobs=args.jobs,
+        policy=policy,
+        cache_dir=args.sweep_cache,
+    ) as engine:
+        run = engine.sweep(paths)
+        for path, result in run:
+            counts: dict[str, int] = {}
+            for klass in result.line_classes():
+                counts[klass.value] = counts.get(klass.value, 0) + 1
+            summary = " ".join(
+                f"{name}={counts[name]}" for name in sorted(counts)
+            )
+            print(
+                f"{path.name}: {result.n_rows}x{result.n_cols} "
+                f"[{result.dialect.describe()}] {summary}",
+                file=out,
+            )
+    report = run.report
+    print(
+        f"swept {report.completed}/{report.files} files "
+        f"({report.cache_hits} cached, {len(report.skipped)} skipped, "
+        f"{report.batches} batches)",
+        file=out,
+    )
+    for entry in report.skipped:
+        print(
+            f"repro: skipped {entry.path} [{entry.stage}]: "
+            f"{entry.reason}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace, out) -> int:
+    if args.file.is_dir():
+        return _cmd_sweep(args, out)
+    try:
+        ingested = _ingest_input(args)
+    except IngestError as error:
+        print(f"repro: {args.file}: {error}", file=sys.stderr)
+        return 2
+    pipeline = _train_pipeline(args, out)
     result = pipeline.analyze(ingested.text, dialect=ingested.dialect)
 
     print(f"dialect: {result.dialect.describe()}", file=out)

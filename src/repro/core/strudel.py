@@ -42,7 +42,12 @@ from repro.errors import (
     NotFittedError,
 )
 from repro.io.cropping import crop_table
-from repro.io.ingest import IngestPolicy, IngestReport, ingest_text
+from repro.io.ingest import (
+    IngestPolicy,
+    IngestReport,
+    ingest_bytes,
+    ingest_text,
+)
 from repro.core.profile import table_profile
 from repro.obs import get_tracer
 from repro.perf.cache import FeatureCache, array_hash
@@ -207,6 +212,17 @@ class StrudelLineClassifier:
     def set_feature_cache(self, cache: FeatureCache | None) -> None:
         """Attach (or detach) a corpus-level feature cache."""
         self._feature_cache = cache
+
+    def __getstate__(self) -> dict:
+        """Pickle without the feature cache.
+
+        The cache is a process-local resource (it holds a lock and is
+        shared with sibling classifiers); shipping a classifier to a
+        worker process broadcasts the *model*, never the cache.
+        """
+        state = self.__dict__.copy()
+        state["_feature_cache"] = None
+        return state
 
     def _make_model(self):
         if self._classifier_factory is not None:
@@ -390,6 +406,12 @@ class StrudelCellClassifier:
         """Attach a feature cache to this classifier and its Strudel-L."""
         self._feature_cache = cache
         self.line_classifier.set_feature_cache(cache)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the feature cache (see Strudel-L)."""
+        state = self.__dict__.copy()
+        state["_feature_cache"] = None
+        return state
 
     def _make_model(self):
         if self._classifier_factory is not None:
@@ -687,17 +709,40 @@ class StrudelPipeline:
             ingested = ingest_text(
                 text, dialect=dialect, policy=policy or IngestPolicy()
             )
-            table = ingested.table
-            if self.crop:
-                table = crop_table(table)
-            line_classes, cell_classes = self._classify(table)
-            return StructureResult(
-                dialect=ingested.dialect,
-                table=table,
-                line_classes=line_classes,
-                cell_classes=cell_classes,
-                ingest=ingested.report,
+            return self._structure_from(ingested)
+
+    def analyze_bytes(
+        self,
+        data: bytes,
+        dialect: Dialect | None = None,
+        policy: IngestPolicy | None = None,
+    ) -> StructureResult:
+        """Classify the structure of raw CSV ``data`` (undecoded bytes).
+
+        Identical to :meth:`analyze` but entering the hardened
+        ingestion stage one step earlier, at encoding resolution — the
+        path the corpus engine's workers take for files read straight
+        from disk.
+        """
+        with get_tracer().span("analyze"):
+            ingested = ingest_bytes(
+                data, dialect=dialect, policy=policy or IngestPolicy()
             )
+            return self._structure_from(ingested)
+
+    def _structure_from(self, ingested) -> StructureResult:
+        """Shared tail of the ``analyze*`` entry points."""
+        table = ingested.table
+        if self.crop:
+            table = crop_table(table)
+        line_classes, cell_classes = self._classify(table)
+        return StructureResult(
+            dialect=ingested.dialect,
+            table=table,
+            line_classes=line_classes,
+            cell_classes=cell_classes,
+            ingest=ingested.report,
+        )
 
     def analyze_table(self, table: Table) -> StructureResult:
         """Classify the structure of an already-parsed table."""

@@ -14,6 +14,9 @@ detection is stable across runs.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.dialect.dialect import Dialect
@@ -30,6 +33,70 @@ CANDIDATE_QUOTES: tuple[str, ...] = ('"', "'", "")
 
 #: Escape characters considered.
 CANDIDATE_ESCAPES: tuple[str, ...] = ("", "\\")
+
+#: Bound on the whole-sample detection memo below — generous for a
+#: corpus sweep (one entry per distinct file prefix) yet small enough
+#: that the memo never holds more than a few hundred kilobytes.
+_MEMO_MAX_ENTRIES = 1024
+
+# Detection is a pure function of the scored sample, so the winning
+# dialect is memoized on a content hash of that sample (the bounded
+# LRU mirrors ``infer_data_type``'s): a sweep that misses the feature
+# or sweep caches still skips the candidate-enumeration cascade when
+# it has seen identical leading bytes before.  Only the hash and the
+# tiny frozen ``Dialect`` are retained, never the text.  This layer
+# stays below ``obs``, so the memo keeps plain counters instead of
+# metrics; callers that want them can surface ``dialect_memo_stats``.
+_MEMO_LOCK = threading.Lock()
+_MEMO: OrderedDict[str, Dialect] = OrderedDict()
+_MEMO_HITS = 0
+_MEMO_MISSES = 0
+
+
+def _sample_key(sample: str) -> str:
+    """Content hash of a detection sample."""
+    data = sample.encode("utf-8", "backslashreplace")
+    return hashlib.sha256(data).hexdigest()
+
+
+def _memo_get(key: str) -> Dialect | None:
+    global _MEMO_HITS, _MEMO_MISSES
+    with _MEMO_LOCK:
+        dialect = _MEMO.get(key)
+        if dialect is None:
+            _MEMO_MISSES += 1
+            return None
+        _MEMO.move_to_end(key)
+        _MEMO_HITS += 1
+        return dialect
+
+
+def _memo_put(key: str, dialect: Dialect) -> None:
+    with _MEMO_LOCK:
+        _MEMO[key] = dialect
+        _MEMO.move_to_end(key)
+        while len(_MEMO) > _MEMO_MAX_ENTRIES:
+            _MEMO.popitem(last=False)
+
+
+def dialect_memo_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the detection memo (for tests and
+    observability shims above this layer)."""
+    with _MEMO_LOCK:
+        return {
+            "hits": _MEMO_HITS,
+            "misses": _MEMO_MISSES,
+            "entries": len(_MEMO),
+        }
+
+
+def clear_dialect_memo() -> None:
+    """Drop all memoized detections and reset the counters."""
+    global _MEMO_HITS, _MEMO_MISSES
+    with _MEMO_LOCK:
+        _MEMO.clear()
+        _MEMO_HITS = 0
+        _MEMO_MISSES = 0
 
 
 @dataclass(frozen=True)
@@ -62,20 +129,31 @@ class DialectDetector:
     def detect(self, text: str) -> Dialect:
         """The best-scoring dialect for ``text``.
 
-        Raises :class:`DialectError` on empty input.
+        Memoized on a content hash of the scored sample — two texts
+        with identical leading lines share one detection.  Raises
+        :class:`DialectError` on empty input.
         """
-        ranking = self.rank(text)
-        if not ranking:
+        sample = self._sample(text)
+        if not sample.strip():
             raise DialectError("cannot detect the dialect of empty text")
-        return ranking[0].dialect
+        key = _sample_key(sample)
+        cached = _memo_get(key)
+        if cached is not None:
+            return cached
+        dialect = self._rank_sample(sample)[0].dialect
+        _memo_put(key, dialect)
+        return dialect
 
     def rank(self, text: str) -> list[ScoredDialect]:
         """All candidate dialects scored and sorted best-first."""
         sample = self._sample(text)
         if not sample.strip():
             return []
+        return self._rank_sample(sample)
+
+    def _rank_sample(self, sample: str) -> list[ScoredDialect]:
         scored: list[ScoredDialect] = []
-        for rank, dialect in enumerate(self._candidates(sample)):
+        for dialect in self._candidates(sample):
             rows = parse_csv_text(sample, dialect)
             p = pattern_score(rows)
             t = type_score(rows)

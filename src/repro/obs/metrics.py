@@ -36,8 +36,19 @@ METRIC_NAMES: tuple[str, ...] = (
     "feature_cache.hits",
     "feature_cache.misses",
     "feature_cache.evictions",
+    "feature_cache.disk_errors",
     "feature_cache.*",
     "parallel.pool_degraded",
+    "worker_pool.spawns",
+    "worker_pool.reuses",
+    "worker_pool.broken",
+    "sweep.files",
+    "sweep.skipped",
+    "sweep.batches",
+    "sweep.worker_crashes",
+    "sweep_cache.hits",
+    "sweep_cache.misses",
+    "sweep_cache.evictions",
     "ingest.files",
     "ingest.recovered",
     "ingest.bom_stripped",

@@ -62,6 +62,8 @@ AUX_SPANS: tuple[str, ...] = (
     "cross_validate",
     "cv_fold",
     "forest_compile",
+    "sweep",
+    "sweep_batch",
 )
 
 

@@ -35,8 +35,11 @@ diffing a ``--quick`` run against a full one.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable
 
@@ -48,12 +51,14 @@ from repro.datagen.corpora import make_corpus
 from repro.datagen.filegen import generate_file
 from repro.datagen.spec import FileSpec, TableSpec
 from repro.errors import InvalidParameterError
+from repro.eval.experiments import materialize_corpus
 from repro.eval.runner import CVResult, cross_validate_lines
 from repro.io.cropping import crop_table
-from repro.io.ingest import decode_bytes, ingest_text
+from repro.io.ingest import IngestPolicy, decode_bytes, ingest_text
 from repro.io.writer import write_csv_text
 from repro.obs import PIPELINE_STAGES, Tracer, activate, get_tracer
 from repro.perf.cache import FeatureCache
+from repro.perf.engine import CorpusEngine, FileResult, _run_batch
 from repro.types import Corpus, Table
 from repro.util.rng import as_generator
 
@@ -278,6 +283,158 @@ def _bench_cv(config: BenchConfig, corpus: Corpus) -> dict:
     }
 
 
+def _percall_file(
+    pipeline: StrudelPipeline, policy: IngestPolicy, item: tuple
+) -> tuple:
+    """One file through the pipeline, for the pre-change baseline.
+
+    Bound into a :func:`functools.partial` carrying the fitted
+    pipeline, so every task submission re-pickles the model — exactly
+    the cost profile the persistent-worker engine amortizes away.
+    """
+    return _run_batch(pipeline, policy, [item])[0]
+
+
+def _contiguous_batches(items: list[tuple], jobs: int) -> list[list[tuple]]:
+    """Size-balanced contiguous micro-batches mirroring the engine's
+    sharding plan, so the baseline fans out the same work units."""
+    total = sum(len(data) for _, _, data in items)
+    budget = max(1, total // max(1, jobs * 4))
+    batches: list[list[tuple]] = []
+    batch: list[tuple] = []
+    spent = 0
+    for item in items:
+        batch.append(item)
+        spent += len(item[2])
+        if spent >= budget or len(batch) >= 64:
+            batches.append(batch)
+            batch, spent = [], 0
+    if batch:
+        batches.append(batch)
+    return batches
+
+
+def _percall_pool_sweep(
+    pipeline: StrudelPipeline,
+    policy: IngestPolicy,
+    batches: list[list[tuple]],
+    jobs: int,
+) -> list[tuple]:
+    """Sweep via the pre-change pattern: a fresh process pool per
+    fan-out, the fitted model pickled into every task."""
+    out: list[tuple] = []
+    fn = partial(_percall_file, pipeline, policy)
+    for batch in batches:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            out.extend(pool.map(fn, batch))
+    return out
+
+
+def _sweep_results_identical(a: list[FileResult], b: list[FileResult]) -> bool:
+    """Byte-level parity between two sweeps over the same paths."""
+    if len(a) != len(b):
+        return False
+    return all(
+        x.path == y.path
+        and x.line_codes.tobytes() == y.line_codes.tobytes()
+        and x.cell_positions.tobytes() == y.cell_positions.tobytes()
+        and x.cell_codes.tobytes() == y.cell_codes.tobytes()
+        for x, y in zip(a, b)
+    )
+
+
+def _bench_corpus_sweep(config: BenchConfig, corpus: Corpus,
+                        pipeline: StrudelPipeline) -> dict:
+    """Whole-corpus sweep throughput.
+
+    Three measurements over the same materialized corpus:
+
+    * the pre-change per-call-pool baseline (fresh pool per micro-batch,
+      model pickled per task) at the parallel jobs level;
+    * the persistent-worker engine at ``n_jobs`` in ``{1, jobs}``,
+      timed on a *second* sweep so the pool is warm — the steady state
+      the engine exists to provide (the cold number is the cache-cold
+      pass below, which pays the one-time spawn + broadcast);
+    * the on-disk sweep cache, cold pass vs all-hits warm pass.
+    """
+    jobs = config.n_jobs if config.n_jobs > 1 else 4
+    policy = IngestPolicy()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        root = Path(tmp)
+        paths = materialize_corpus(corpus, root / "files")
+        items = [
+            (index, str(path), path.read_bytes())
+            for index, path in enumerate(paths)
+        ]
+
+        batches = _contiguous_batches(items, jobs)
+        start = time.perf_counter()
+        percall = _percall_pool_sweep(pipeline, policy, batches, jobs)
+        percall_seconds = time.perf_counter() - start
+        failures = [
+            payload for _, payload in percall if isinstance(payload, tuple)
+        ]
+        if failures:
+            raise InvalidParameterError(
+                f"per-call baseline sweep failed: {failures[0][1]}"
+            )
+
+        engine_results: dict[int, list[FileResult]] = {}
+        engine_seconds: dict[int, float] = {}
+        for level in sorted({1, jobs}):
+            with CorpusEngine(
+                pipeline, n_jobs=level, policy=policy
+            ) as engine:
+                engine.sweep_paths(paths)  # warm the pool + broadcast
+                start = time.perf_counter()
+                results, report = engine.sweep_paths(paths)
+                engine_seconds[level] = time.perf_counter() - start
+            if report.skipped:
+                first = report.skipped[0]
+                raise InvalidParameterError(
+                    f"engine sweep skipped {first.path}: {first.reason}"
+                )
+            engine_results[level] = [result for _, result in results]
+
+        with CorpusEngine(
+            pipeline, n_jobs=jobs, policy=policy, cache_dir=root / "cache"
+        ) as engine:
+            start = time.perf_counter()
+            engine.sweep_paths(paths)
+            cache_cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            _, warm_report = engine.sweep_paths(paths)
+            cache_warm_seconds = time.perf_counter() - start
+
+        cells = sum(len(r.cell_codes) for r in engine_results[1])
+        levels = {
+            str(level): {
+                "seconds": seconds,
+                "files_per_second": len(paths) / seconds,
+                "cells_per_second": cells / seconds,
+            }
+            for level, seconds in engine_seconds.items()
+        }
+        return {
+            "files": len(paths),
+            "cells": cells,
+            "jobs": jobs,
+            "percall_pool_seconds": percall_seconds,
+            "sequential_seconds": engine_seconds[1],
+            "engine": levels,
+            # Headline: warm persistent workers vs the per-call pools
+            # the engine replaced, same jobs level, same batch plan.
+            "engine_speedup": percall_seconds / engine_seconds[jobs],
+            "cache_cold_seconds": cache_cold_seconds,
+            "cache_warm_seconds": cache_warm_seconds,
+            "cache_speedup": cache_cold_seconds / cache_warm_seconds,
+            "cache_hits": warm_report.cache_hits,
+            "byte_identical": _sweep_results_identical(
+                engine_results[1], engine_results[jobs]
+            ),
+        }
+
+
 def run_benchmark(config: BenchConfig | None = None) -> dict:
     """Run the full harness and return the report as a plain dict."""
     config = config or BenchConfig()
@@ -316,6 +473,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
     stages = _stage_breakdown(pipeline, text, config.repeats)
     prediction = _bench_prediction(pipeline, text, config.repeats)
     cv = _bench_cv(config, corpus)
+    corpus_sweep = _bench_corpus_sweep(config, corpus, pipeline)
 
     cache_stats = cache.stats()
     return {
@@ -337,6 +495,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
             "cache_misses": cache_stats["misses"],
         },
         "cv": cv,
+        "corpus_sweep": corpus_sweep,
     }
 
 
@@ -389,6 +548,14 @@ def _timing_metrics(report: dict) -> dict[str, float]:
     if prediction is not None:
         metrics["prediction.line_seconds"] = prediction["line_seconds"]
         metrics["prediction.cell_seconds"] = prediction["cell_seconds"]
+    sweep = report.get("corpus_sweep")
+    if sweep is not None:
+        # Only the sequential sweep is diffed: the parallel timings
+        # depend on the jobs level, which ``_COMPARABLE_CONFIG_KEYS``
+        # deliberately leaves out of the comparability check.
+        metrics["corpus_sweep.sequential_seconds"] = (
+            sweep["sequential_seconds"]
+        )
     return metrics
 
 
@@ -399,7 +566,12 @@ def _timing_metrics(report: dict) -> dict[str, float]:
 #: lives here so a cache that quietly stops paying for itself (the
 #: 0.97x episode this guards against) fails the diff instead of
 #: rotting in the report.
-_RATIO_METRICS: tuple[str, ...] = ("cv.speedup",)
+#: ``corpus_sweep.cache_speedup`` joins it for the same reason: the
+#: on-disk sweep cache must keep its warm pass dramatically cheaper
+#: than the cold pass, or the content-addressed store has rotted.
+_RATIO_METRICS: tuple[str, ...] = (
+    "cv.speedup", "corpus_sweep.cache_speedup"
+)
 
 
 def _ratio_metrics(report: dict) -> dict[str, float]:
@@ -412,6 +584,9 @@ def _ratio_metrics(report: dict) -> dict[str, float]:
     speedup = report.get("cv", {}).get("speedup")
     if speedup is not None:
         ratios["cv.speedup"] = speedup
+    cache_speedup = report.get("corpus_sweep", {}).get("cache_speedup")
+    if cache_speedup is not None:
+        ratios["corpus_sweep.cache_speedup"] = cache_speedup
     return ratios
 
 
@@ -564,4 +739,31 @@ def format_summary(report: dict) -> str:
             f"  byte-identical       {cv['byte_identical']}",
         ]
     )
+    sweep = report.get("corpus_sweep")
+    if sweep is not None:
+        jobs = sweep["jobs"]
+        seq = sweep["engine"]["1"]
+        par = sweep["engine"][str(jobs)]
+        lines.extend(
+            [
+                f"corpus sweep ({sweep['files']} files, "
+                f"{sweep['cells']} cells):",
+                "  per-call pools       "
+                f"{sweep['percall_pool_seconds']:>8.3f}s",
+                "  engine, 1 worker     "
+                f"{seq['seconds']:>8.3f}s"
+                f"  ({seq['files_per_second']:,.1f} files/s, "
+                f"{seq['cells_per_second']:,.0f} cells/s)",
+                f"  engine, {jobs} workers    "
+                f"{par['seconds']:>8.3f}s"
+                f"  ({par['files_per_second']:,.1f} files/s, "
+                f"{par['cells_per_second']:,.0f} cells/s, "
+                f"{sweep['engine_speedup']:.2f}x vs per-call)",
+                "  sweep cache warm     "
+                f"{sweep['cache_warm_seconds']:>8.3f}s"
+                f"  ({sweep['cache_speedup']:.2f}x vs cold "
+                f"{sweep['cache_cold_seconds']:.3f}s)",
+                f"  byte-identical       {sweep['byte_identical']}",
+            ]
+        )
     return "\n".join(lines)

@@ -38,7 +38,10 @@ state mid-update.  Every event is mirrored into the process-local
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 import threading
+import zipfile
 from collections import OrderedDict
 from pathlib import Path
 
@@ -51,6 +54,12 @@ from repro.types import Table
 #: Byte separators that make the row/cell flattening injective.
 _CELL_SEP = b"\x1f"
 _ROW_SEP = b"\x1e"
+
+#: What a truncated, torn, or otherwise damaged ``.npz`` raises on
+#: load.  Treated as a miss, never an error: a cache file must not be
+#: able to poison the process that next reads it.
+_CORRUPT_NPZ_ERRORS = (OSError, ValueError, KeyError, EOFError,
+                       zipfile.BadZipFile)
 
 
 def table_content_hash(table: Table) -> str:
@@ -219,18 +228,39 @@ class FeatureCache:
         return self.directory / f"{name}.npz"
 
     def _save_to_disk(self, key: str, value: tuple[np.ndarray, ...]) -> None:
+        """Persist atomically: write a temp file, then rename over.
+
+        Concurrent workers may race to persist the same entry; each
+        writes its own temp file and the ``os.replace`` is atomic, so
+        a reader never observes a half-written archive — a mid-write
+        crash leaves only an orphan ``.tmp``, never a corrupt entry.
+        """
         path = self._disk_path(key)
         if path is None or path.exists():
             return
         arrays = {f"arr_{i}": array for i, array in enumerate(value)}
-        with open(path, "wb") as handle:
-            np.savez(handle, **arrays)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=path.stem, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                np.savez(handle, **arrays)
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
 
     def _load_from_disk(self, key: str) -> tuple[np.ndarray, ...] | None:
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
-        with np.load(path) as archive:
-            return tuple(
-                archive[f"arr_{i}"] for i in range(len(archive.files))
-            )
+        try:
+            with np.load(path) as archive:
+                return tuple(
+                    archive[f"arr_{i}"] for i in range(len(archive.files))
+                )
+        except _CORRUPT_NPZ_ERRORS:
+            # Quarantine by deletion: count it, forget it, recompute.
+            path.unlink(missing_ok=True)
+            self._metrics.increment("feature_cache.disk_errors")
+            return None

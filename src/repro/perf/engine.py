@@ -1,0 +1,726 @@
+"""Persistent-worker corpus engine: sweep a file list through one model.
+
+The per-file pipeline is fast (PR 3 columnar profile, PR 7 compiled
+forest); the corpus — the unit of work Datamaran-style data-lake
+extraction actually bills — was not.  A naive sweep pays process-pool
+startup per fan-out and re-pickles the fitted model into every task,
+and nothing survives between sweeps.  :class:`CorpusEngine` fixes all
+three amortization failures:
+
+* **warm workers** — one private :class:`~repro.perf.pool.WorkerPool`
+  per engine, kept alive across :meth:`CorpusEngine.sweep` calls;
+* **one-time model broadcast** — the fitted pipeline is pickled once
+  (feature caches detached — they are process-local) into the pool
+  initializer, so each worker deserializes the compiled forest tensors
+  exactly once at spawn instead of once per task;
+* **content-addressed sweep cache** — results are stored on disk keyed
+  by ``(file content hash, model fingerprint, ingest policy)``, so
+  re-sweeping an unchanged corpus never reaches a worker at all.
+
+Determinism contract: ``sweep`` shards the file list into
+*contiguous, size-balanced* micro-batches and streams ``(path,
+result)`` pairs back in **input order** with a bounded in-flight
+window (backpressure: at most ``window`` batches of raw bytes exist at
+once).  Results are plain numpy arrays (class codes, cell positions),
+so parity across ``n_jobs``, cache hits and misses is checkable with
+``.tobytes()`` equality — the pinned guarantee that parallelism may
+change *when* work happens, never *what* it computes.
+
+Failure routing: a file that cannot be read or classified becomes a
+:class:`SkipEntry` in the run's :class:`SweepReport` instead of
+aborting the sweep; a worker killed mid-batch is recorded loudly
+(``sweep.worker_crashes`` metric + ``RuntimeWarning``), its batch's
+files join the skip report as casualties, and the pool respawns for
+the remaining files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+import warnings
+import zipfile
+from collections import deque
+from concurrent.futures import CancelledError, Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.dialect.dialect import Dialect
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.io.ingest import IngestPolicy
+from repro.obs import get_metrics, get_tracer
+from repro.perf.parallel import effective_jobs
+from repro.perf.pool import WorkerPool
+from repro.types import CONTENT_CLASSES, CellClass
+
+#: Integer codes for every cell class, *including* the ``EMPTY``
+#: sentinel (which deliberately has no index in ``CLASS_TO_INDEX`` —
+#: it is not a content class, but line predictions do emit it).
+_CLASS_CODES: dict[CellClass, int] = {
+    cls: index for index, cls in enumerate(CONTENT_CLASSES)
+}
+_CLASS_CODES[CellClass.EMPTY] = len(CONTENT_CLASSES)
+_CODE_TO_CLASS: dict[int, CellClass] = {
+    code: cls for cls, code in _CLASS_CODES.items()
+}
+
+#: Aim for this many micro-batches per worker, so one slow shard
+#: cannot serialize the sweep's tail while keeping per-batch overhead
+#: (submit + result pickling) amortized over many files.
+_BATCHES_PER_WORKER = 4
+
+#: Hard per-batch file count bound, so a corpus of tiny files still
+#: produces batches a worker finishes promptly.
+_MAX_BATCH_FILES = 64
+
+#: What a damaged ``.npz`` raises on load: truncated zip containers,
+#: bad headers, missing members.  Treated as a cache miss, never an
+#: error — the corrupt file is removed so it cannot poison anything.
+_CORRUPT_CACHE_ERRORS = (OSError, ValueError, KeyError, EOFError,
+                         zipfile.BadZipFile)
+
+
+def file_content_hash(data: bytes) -> str:
+    """SHA-256 hex digest of a file's raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def model_fingerprint(pipeline) -> str:
+    """SHA-256 digest of everything that determines a sweep's output.
+
+    Hashes the compiled forest tensors of both classifiers (the same
+    arrays ``ml.persistence`` stores — two models produce the same
+    fingerprint iff they predict identically), the extractor
+    configuration keys and the crop flag.  Cached sweep results are
+    addressed by this fingerprint, so refitting the model can never
+    serve stale results.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"crop={int(pipeline.crop)};".encode("ascii"))
+    for clf in (pipeline.line_classifier, pipeline.cell_classifier):
+        if clf._model is None:
+            raise NotFittedError(
+                "cannot fingerprint an unfitted pipeline; call fit() "
+                "before building a CorpusEngine"
+            )
+        digest.update(clf.extractor.cache_key.encode("utf-8"))
+        digest.update(b";")
+        compiled = clf._model.compile()
+        for tensor in (
+            compiled.classes_, compiled._tree_classes,
+            compiled._feature, compiled._threshold, compiled._left,
+            compiled._right, compiled._proba, compiled._roots,
+            compiled._tree_class_offsets,
+        ):
+            array = np.ascontiguousarray(tensor)
+            digest.update(str(array.dtype).encode("ascii"))
+            digest.update(str(array.shape).encode("ascii"))
+            digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def policy_fingerprint(policy: IngestPolicy) -> str:
+    """A stable key for an ingest policy (frozen dataclass repr)."""
+    return repr(policy)
+
+
+# ----------------------------------------------------------------------
+# Results and reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class FileResult:
+    """One swept file's classified structure, in array form.
+
+    Arrays, not objects, so results are cheap to ship across process
+    boundaries, round-trip losslessly through the ``.npz`` sweep cache
+    and compare byte-for-byte in the parity tests.  ``line_codes`` /
+    ``cell_codes`` hold :data:`_CLASS_CODES` values; decode through
+    :meth:`line_classes` / :meth:`cell_classes`.
+    """
+
+    path: Path
+    dialect: Dialect
+    n_rows: int
+    n_cols: int
+    line_codes: np.ndarray
+    cell_positions: np.ndarray
+    cell_codes: np.ndarray
+
+    def line_classes(self) -> list[CellClass]:
+        """Per-line classes, decoded to :class:`CellClass`."""
+        return [_CODE_TO_CLASS[int(code)] for code in self.line_codes]
+
+    def cell_classes(self) -> dict[tuple[int, int], CellClass]:
+        """Non-empty cell positions mapped to their classes."""
+        return {
+            (int(row), int(col)): _CODE_TO_CLASS[int(code)]
+            for (row, col), code in zip(
+                self.cell_positions, self.cell_codes
+            )
+        }
+
+
+@dataclass(frozen=True)
+class SkipEntry:
+    """One file the sweep could not classify, and why.
+
+    ``stage`` is where it failed: ``"read"`` (the bytes never left the
+    parent), ``"classify"`` (the pipeline raised in a worker) or
+    ``"worker"`` (the worker process died mid-batch).
+    """
+
+    path: Path
+    stage: str
+    reason: str
+
+
+@dataclass
+class SweepReport:
+    """What a sweep did: counts, cache traffic, and the casualties."""
+
+    files: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    worker_crashes: int = 0
+    skipped: list[SkipEntry] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (paths as strings)."""
+        return {
+            "files": self.files,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "worker_crashes": self.worker_crashes,
+            "skipped": [
+                {
+                    "path": str(entry.path),
+                    "stage": entry.stage,
+                    "reason": entry.reason,
+                }
+                for entry in self.skipped
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Result encoding (parent and workers share these, so every path —
+# inline, worker, cache hit — produces identical arrays)
+# ----------------------------------------------------------------------
+def _encode_structure(result) -> dict[str, np.ndarray]:
+    """Flatten a :class:`StructureResult` into deterministic arrays."""
+    line_codes = np.array(
+        [_CLASS_CODES[cls] for cls in result.line_classes],
+        dtype=np.int8,
+    )
+    items = sorted(result.cell_classes.items())
+    positions = np.array(
+        [position for position, _ in items], dtype=np.int64
+    ).reshape(len(items), 2)
+    cell_codes = np.array(
+        [_CLASS_CODES[cls] for _, cls in items], dtype=np.int8
+    )
+    dialect = np.array(
+        [
+            result.dialect.delimiter,
+            result.dialect.quotechar,
+            result.dialect.escapechar,
+        ],
+        dtype=np.str_,
+    )
+    shape = np.array(
+        [result.table.n_rows, result.table.n_cols], dtype=np.int64
+    )
+    return {
+        "line_codes": line_codes,
+        "cell_positions": positions,
+        "cell_codes": cell_codes,
+        "dialect": dialect,
+        "shape": shape,
+    }
+
+
+def _decode_arrays(path: Path, arrays: dict) -> FileResult:
+    """Rebuild a :class:`FileResult` from encoded arrays."""
+    dialect = arrays["dialect"]
+    shape = arrays["shape"]
+    return FileResult(
+        path=path,
+        dialect=Dialect(
+            delimiter=str(dialect[0]),
+            quotechar=str(dialect[1]),
+            escapechar=str(dialect[2]),
+        ),
+        n_rows=int(shape[0]),
+        n_cols=int(shape[1]),
+        line_codes=np.asarray(arrays["line_codes"], dtype=np.int8),
+        cell_positions=np.asarray(
+            arrays["cell_positions"], dtype=np.int64
+        ).reshape(-1, 2),
+        cell_codes=np.asarray(arrays["cell_codes"], dtype=np.int8),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-worker broadcast state, installed once by the pool initializer.
+_WORKER_STATE: tuple | None = None
+
+
+def _init_sweep_worker(payload: bytes) -> None:
+    """Pool initializer: deserialize the broadcast model once."""
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+def _run_batch(pipeline, policy, batch):
+    """Classify one micro-batch; per-file failures become markers.
+
+    Returns ``(index, arrays_dict)`` per success and
+    ``(index, ("error", reason))`` per failure — a sweep over a messy
+    data lake must survive any single file.
+    """
+    out = []
+    for index, _name, data in batch:
+        try:
+            encoded = _encode_structure(
+                pipeline.analyze_bytes(data, policy=policy)
+            )
+        except Exception as exc:
+            out.append(
+                (index, ("error", f"{type(exc).__name__}: {exc}"))
+            )
+        else:
+            out.append((index, encoded))
+    return out
+
+
+def _sweep_batch(batch):
+    """Process-pool entry: run a batch against the broadcast model."""
+    pipeline, policy = _WORKER_STATE
+    return _run_batch(pipeline, policy, batch)
+
+
+# ----------------------------------------------------------------------
+# The content-addressed sweep cache
+# ----------------------------------------------------------------------
+class SweepCache:
+    """On-disk cache of swept-file results, content-addressed.
+
+    Entries are ``.npz`` files named by
+    ``sha256(content hash | model fingerprint | policy)``, written
+    atomically (temp file + ``os.replace``) so concurrent engines and
+    mid-write crashes can never leave a partial file behind, and a
+    corrupt entry (however it got there) is removed and treated as a
+    miss.  Counters mirror into the metrics registry
+    (``sweep_cache.hits`` / ``sweep_cache.misses`` /
+    ``sweep_cache.evictions``) and snapshot through :meth:`stats`,
+    exactly like :class:`~repro.perf.cache.FeatureCache`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        max_entries: int = 8192,
+    ):
+        if max_entries < 1:
+            raise InvalidParameterError("max_entries must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._metrics = get_metrics()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._count = len(sorted(self.directory.glob("*.npz")))
+
+    @staticmethod
+    def entry_key(
+        content_hash: str, model: str, policy: str
+    ) -> str:
+        """The cache address for one (file, model, policy) triple."""
+        digest = hashlib.sha256()
+        digest.update(content_hash.encode("ascii"))
+        digest.update(b"|")
+        digest.update(model.encode("ascii"))
+        digest.update(b"|")
+        digest.update(policy.encode("utf-8"))
+        return digest.hexdigest()
+
+    def stats(self) -> dict[str, int]:
+        """A consistent locked snapshot of the counters."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": self._count,
+            }
+
+    # ------------------------------------------------------------------
+    def load(self, key: str, path: Path) -> FileResult | None:
+        """The cached result for ``key``, or ``None`` on miss.
+
+        A corrupt entry is deleted and reported as a miss: a crash
+        that slipped past the atomic write must cost one recompute,
+        never poison every later sweep.
+        """
+        entry = self.directory / f"{key}.npz"
+        arrays: dict | None = None
+        try:
+            with np.load(entry) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+            result = _decode_arrays(path, arrays)
+        except FileNotFoundError:
+            result = None
+        except _CORRUPT_CACHE_ERRORS:
+            result = None
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        if result is None:
+            with self._lock:
+                self.misses += 1
+            self._metrics.increment("sweep_cache.misses")
+            return None
+        with self._lock:
+            self.hits += 1
+        self._metrics.increment("sweep_cache.hits")
+        return result
+
+    def store(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Write one entry atomically; evict oldest past the bound."""
+        entry = self.directory / f"{key}.npz"
+        if entry.exists():
+            return
+        handle = tempfile.NamedTemporaryFile(
+            dir=self.directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                np.savez(handle, **arrays)
+            os.replace(handle.name, entry)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._count += 1
+            over = self._count - self.max_entries
+        if over > 0:
+            self._evict(over)
+
+    def _evict(self, count: int) -> None:
+        """Remove the ``count`` oldest entries (write-time LRU)."""
+        entries = sorted(
+            self.directory.glob("*.npz"),
+            key=lambda p: (p.stat().st_mtime_ns, p.name),
+        )
+        removed = 0
+        for stale in entries[:count]:
+            try:
+                stale.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if removed:
+            with self._lock:
+                self.evictions += removed
+                self._count -= removed
+            self._metrics.increment("sweep_cache.evictions", removed)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class SweepRun:
+    """One in-progress sweep: iterate for results, read ``report``.
+
+    Iterating yields ``(path, FileResult)`` pairs in input order;
+    ``report`` is filled in as iteration proceeds and is complete once
+    the iterator is exhausted.
+    """
+
+    def __init__(self, engine: "CorpusEngine", paths: list[Path]):
+        self.report = SweepReport(files=len(paths))
+        self._engine = engine
+        self._paths = paths
+
+    def __iter__(self) -> Iterator[tuple[Path, FileResult]]:
+        return self._engine._run(self._paths, self.report)
+
+    def collect(self) -> list[tuple[Path, FileResult]]:
+        """Drain the whole sweep into a list (report then final)."""
+        return list(self)
+
+
+class CorpusEngine:
+    """Sweep file corpora through one fitted pipeline, fast.
+
+    Parameters
+    ----------
+    pipeline:
+        A **fitted** :class:`~repro.core.strudel.StrudelPipeline`;
+        fingerprinted at construction, broadcast to workers once.
+    n_jobs:
+        Worker processes (``parallel_map`` semantics: ``None``/``1``
+        sequential, ``<=0`` all cores).  The worker pool persists
+        across sweeps; results are byte-identical for any value.
+    policy:
+        Ingest policy applied to every file (part of the cache key).
+    cache_dir:
+        Optional directory for the content-addressed sweep cache.
+    window:
+        Maximum in-flight micro-batches (backpressure bound).
+        Defaults to ``2 * workers``.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    warm workers deterministically; an engine left open is reaped at
+    interpreter exit.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        n_jobs: int | None = 1,
+        policy: IngestPolicy | None = None,
+        cache_dir: str | Path | None = None,
+        window: int | None = None,
+    ):
+        if window is not None and window < 1:
+            raise InvalidParameterError("window must be >= 1")
+        self._pipeline = pipeline
+        self._policy = policy or IngestPolicy()
+        self._n_jobs = n_jobs
+        self._window = window
+        self._fingerprint = model_fingerprint(pipeline)
+        self._policy_key = policy_fingerprint(self._policy)
+        self.cache = (
+            SweepCache(cache_dir) if cache_dir is not None else None
+        )
+        self._pool: WorkerPool | None = None
+        self._metrics = get_metrics()
+
+    @property
+    def fingerprint(self) -> str:
+        """The model fingerprint sweeps are cached under."""
+        return self._fingerprint
+
+    def close(self) -> None:
+        """Shut down the warm workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CorpusEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def sweep(self, paths: Iterable[str | Path]) -> SweepRun:
+        """Classify every file, streaming results in input order.
+
+        Returns a :class:`SweepRun`; iterate it for ``(path,
+        FileResult)`` pairs.  Unreadable or unclassifiable files are
+        skipped into ``run.report``, never raised.
+        """
+        return SweepRun(self, [Path(p) for p in paths])
+
+    def sweep_paths(
+        self, paths: Iterable[str | Path]
+    ) -> tuple[list[tuple[Path, FileResult]], SweepReport]:
+        """Convenience: run a sweep to completion and return both."""
+        run = self.sweep(paths)
+        return run.collect(), run.report
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int) -> WorkerPool:
+        """The engine's private pool, broadcast included, grown to
+        ``workers``."""
+        pool = self._pool
+        if pool is None or pool.max_workers < workers:
+            if pool is not None:
+                pool.shutdown(wait=False)
+            payload = pickle.dumps((self._pipeline, self._policy))
+            pool = WorkerPool(
+                workers,
+                initializer=_init_sweep_worker,
+                initargs=(payload,),
+            )
+            self._pool = pool
+        return pool
+
+    def _plan_budget(self, paths: Sequence[Path], workers: int) -> int:
+        """Per-batch byte budget from stat sizes (never file reads)."""
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        batches = max(1, workers * _BATCHES_PER_WORKER)
+        return max(1, total // batches)
+
+    def _run(
+        self, paths: list[Path], report: SweepReport
+    ) -> Iterator[tuple[Path, FileResult]]:
+        """The sweep generator behind :class:`SweepRun`."""
+        tracer = get_tracer()
+        with tracer.span("sweep", n_files=len(paths)):
+            yield from self._run_spanned(paths, report, tracer)
+        self._metrics.increment("sweep.files", len(paths))
+        self._metrics.increment("sweep.skipped", len(report.skipped))
+
+    def _run_spanned(self, paths, report, tracer):
+        workers = effective_jobs(self._n_jobs, len(paths))
+        inline = workers <= 1
+        window = self._window or max(2 * workers, 2)
+        budget = self._plan_budget(paths, workers)
+        # Items awaiting emission, in input order: ("hit", path,
+        # result) or ("batch", token, files) where files is the
+        # submitted [(index, name, data), ...] and token resolves to
+        # the batch's results.  In-flight bytes are bounded by the
+        # window: hits carry no raw data, batches are capped.
+        queue: deque = deque()
+        inflight = 0
+        batch: list[tuple[int, str, bytes]] = []
+        batch_bytes = 0
+
+        def close_batch():
+            nonlocal batch, batch_bytes, inflight
+            if not batch:
+                return
+            if inline:
+                token = list(batch)
+            else:
+                token = self._ensure_pool(workers).submit(
+                    _sweep_batch, list(batch)
+                )
+            queue.append(("batch", token, list(batch)))
+            report.batches += 1
+            self._metrics.increment("sweep.batches")
+            inflight += 1
+            batch = []
+            batch_bytes = 0
+
+        for index, path in enumerate(paths):
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                report.skipped.append(
+                    SkipEntry(path, "read", f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            key = None
+            if self.cache is not None:
+                key = SweepCache.entry_key(
+                    file_content_hash(data),
+                    self._fingerprint,
+                    self._policy_key,
+                )
+                cached = self.cache.load(key, path)
+                if cached is not None:
+                    report.cache_hits += 1
+                    queue.append(("hit", path, cached))
+                    continue
+            batch.append((index, str(path), data))
+            batch_bytes += len(data)
+            if batch_bytes >= budget or len(batch) >= _MAX_BATCH_FILES:
+                close_batch()
+                while inflight >= window or (inline and inflight):
+                    inflight -= self._emitted_batches(queue, report)
+                    yield from self._emit_front(queue, report, tracer)
+        close_batch()
+        while queue:
+            inflight -= self._emitted_batches(queue, report)
+            yield from self._emit_front(queue, report, tracer)
+
+    @staticmethod
+    def _emitted_batches(queue: deque, report) -> int:
+        """How many batches the next :meth:`_emit_front` resolves."""
+        return 1 if queue and queue[0][0] == "batch" else 0
+
+    def _emit_front(self, queue, report, tracer):
+        """Pop and yield the queue's front item (blocking on batches)."""
+        kind, token, extra = queue.popleft()
+        if kind == "hit":
+            report.completed += 1
+            yield token, extra
+            return
+        files = extra
+        try:
+            with tracer.span("sweep_batch", n_files=len(files)):
+                results = self._resolve(token)
+        except (BrokenProcessPool, CancelledError) as exc:
+            self._crashed_batch(files, report, exc)
+            return
+        outcomes = dict(results)
+        for index, name, data in files:
+            path = Path(name)
+            outcome = outcomes.get(index)
+            if isinstance(outcome, dict):
+                result = _decode_arrays(path, outcome)
+                if self.cache is not None:
+                    self.cache.store(
+                        SweepCache.entry_key(
+                            file_content_hash(data),
+                            self._fingerprint,
+                            self._policy_key,
+                        ),
+                        outcome,
+                    )
+                report.completed += 1
+                yield path, result
+            else:
+                reason = (
+                    outcome[1]
+                    if isinstance(outcome, tuple)
+                    else "no result returned for file"
+                )
+                report.skipped.append(
+                    SkipEntry(path, "classify", reason)
+                )
+
+    def _resolve(self, token):
+        """Batch results from a token: future, or inline work list."""
+        if isinstance(token, Future):
+            return token.result()
+        return _run_batch(self._pipeline, self._policy, token)
+
+    def _crashed_batch(self, files, report, exc) -> None:
+        """A worker died mid-batch: loud metric + warning, casualties
+        named, pool discarded so the next batch respawns workers."""
+        if self._pool is not None:
+            self._pool.discard_broken()
+        report.worker_crashes += 1
+        self._metrics.increment("sweep.worker_crashes")
+        for _index, name, _data in files:
+            report.skipped.append(
+                SkipEntry(
+                    Path(name),
+                    "worker",
+                    f"worker crashed mid-batch "
+                    f"({type(exc).__name__}: {exc})",
+                )
+            )
+        warnings.warn(
+            f"sweep worker crashed; {len(files)} file(s) skipped and "
+            f"the pool was restarted: {type(exc).__name__}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )

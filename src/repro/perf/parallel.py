@@ -13,7 +13,11 @@ here guarantee that by construction:
 
 ``parallel_map`` prefers a thread pool (cheap start-up; numpy releases
 the GIL in its hot kernels) and can opt into a process pool for
-CPU-bound pure-Python work such as tree induction.  A failure to
+CPU-bound pure-Python work such as tree induction.  Process fan-outs
+run on the persistent shared :class:`repro.perf.pool.WorkerPool`, so
+repeated calls (one forest fit per CV fold, one batch per corpus
+shard) reuse warm workers instead of forking a pool each time.  A
+failure to
 stand up or use the pool *itself* — missing ``fork``, unpicklable
 payload, a sandbox without ``sem_open``, a worker killed from outside
 — degrades to the sequential path, which is always equivalent, and
@@ -29,12 +33,13 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import InvalidParameterError
 from repro.obs import get_metrics
+from repro.perf.pool import shared_pool
 
 #: Failures of the pool machinery (never of the work function): the
 #: payload cannot be shipped, the pool cannot be created in this
@@ -137,14 +142,15 @@ def parallel_map(
             _degrade_to_sequential(exc)
             return _sequential_map(fn, work)
         try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                return list(pool.map(fn, work))
+            return shared_pool(jobs).map(fn, work)
         except _POOL_FAILURES as exc:
             # Pools are an optimization, never a requirement: when the
             # pool *infrastructure* fails (an unshippable work item,
             # missing fork/semaphores, dying workers) the equivalent
             # sequential computation takes over.  Inputs are re-used
-            # untouched — process workers only ever saw copies.
+            # untouched — process workers only ever saw copies.  A
+            # broken shared pool has already been discarded by
+            # WorkerPool.map, so the *next* call gets fresh workers.
             _degrade_to_sequential(exc)
             return _sequential_map(fn, work)
     with ThreadPoolExecutor(max_workers=jobs) as pool:

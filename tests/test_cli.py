@@ -124,6 +124,40 @@ class TestClassify:
         assert "data" in text
         assert "header" in text or "metadata" in text
 
+    def test_classify_directory_sweeps_with_cache(self, tmp_path, capsys):
+        """A directory argument sweeps every *.csv through the engine;
+        a second run against the same sweep cache is all hits."""
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        for name in ("a", "b", "c"):
+            (corpus / f"{name}.csv").write_text(
+                "Region,Q1,Q2\nNorth,5,7\nSouth,6,8\nTotal,11,15\n",
+                encoding="utf-8",
+            )
+        args = [
+            "classify", str(corpus), "--scale", "0.05", "--trees", "8",
+            "--jobs", "2", "--sweep-cache", str(tmp_path / "cache"),
+        ]
+        out = io.StringIO()
+        assert main(args, out=out) == 0
+        text = out.getvalue()
+        assert "a.csv" in text and "c.csv" in text
+        assert "swept 3/3 files (0 cached" in text
+
+        out = io.StringIO()
+        assert main(args, out=out) == 0
+        assert "swept 3/3 files (3 cached" in out.getvalue()
+
+    def test_classify_empty_directory_exits_two(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        out = io.StringIO()
+        code = main(
+            ["classify", str(empty), "--scale", "0.05", "--trees", "8"],
+            out=out,
+        )
+        assert code == 2
+
 
 class TestLint:
     def test_clean_file_exits_zero(self, tmp_path):

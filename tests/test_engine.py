@@ -1,0 +1,400 @@
+"""The persistent-worker corpus engine: pools, sweeps, and the cache.
+
+The contract mirrors ``test_perf``'s: the engine may change *when*
+work happens (warm workers, micro-batches, cache hits), never *what*
+it computes — the parity tests here compare prediction bytes across
+every execution mode.  The failure-path tests pin the loud-degradation
+promises: one bad file costs one skip entry, a dead worker costs one
+metric + warning + the batch's casualties, and nothing ever silently
+aborts a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.perf.engine as engine_mod
+from repro.core.strudel import StrudelPipeline
+from repro.errors import InvalidParameterError, NotFittedError
+from repro.io.ingest import IngestPolicy
+from repro.io.writer import write_csv_text
+from repro.obs import get_metrics
+from repro.perf.engine import (
+    CorpusEngine,
+    SweepCache,
+    model_fingerprint,
+    policy_fingerprint,
+)
+from repro.perf.pool import (
+    WorkerPool,
+    shared_pool,
+    shutdown_shared_pool,
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level work functions: picklable by reference in fork children.
+# ----------------------------------------------------------------------
+def _double(x: int) -> int:
+    return 2 * x
+
+
+_REAL_SWEEP_BATCH = engine_mod._sweep_batch
+
+
+def _crash_on_marker(batch):
+    """Test double for ``_sweep_batch``: kill the worker outright when
+    the batch contains the marker file, else do the real work."""
+    if any("crashme" in name for _, name, _ in batch):
+        os._exit(13)
+    return _REAL_SWEEP_BATCH(batch)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fitted_pipeline(tiny_corpus) -> StrudelPipeline:
+    pipeline = StrudelPipeline(n_estimators=4, random_state=0)
+    pipeline.fit(tiny_corpus.files)
+    return pipeline
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tiny_corpus, tmp_path_factory):
+    """Six corpus files materialized to disk, in a fixed order."""
+    directory = tmp_path_factory.mktemp("sweep_corpus")
+    paths = []
+    for file in tiny_corpus.files[:6]:
+        path = directory / f"{file.name}.csv"
+        path.write_text(
+            write_csv_text(file.table.rows()), encoding="utf-8"
+        )
+        paths.append(path)
+    return paths
+
+
+def _result_bytes(results):
+    """Canonical byte view of a sweep's outputs, for parity asserts."""
+    return [
+        (
+            path.name,
+            result.dialect,
+            result.line_codes.tobytes(),
+            result.cell_positions.tobytes(),
+            result.cell_codes.tobytes(),
+        )
+        for path, result in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+def test_worker_pool_rejects_nonpositive_workers():
+    with pytest.raises(InvalidParameterError):
+        WorkerPool(0)
+
+
+def test_worker_pool_spawns_once_and_reuses():
+    metrics = get_metrics()
+    spawns = metrics.counter("worker_pool.spawns")
+    reuses = metrics.counter("worker_pool.reuses")
+    with WorkerPool(2) as pool:
+        assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+        assert pool.map(_double, [4, 5]) == [8, 10]
+        assert pool.submit(_double, 7).result() == 14
+    assert metrics.counter("worker_pool.spawns") == spawns + 1
+    assert metrics.counter("worker_pool.reuses") == reuses + 2
+
+
+def test_worker_pool_discard_broken_respawns():
+    metrics = get_metrics()
+    with WorkerPool(1) as pool:
+        assert pool.map(_double, [1]) == [2]
+        broken = metrics.counter("worker_pool.broken")
+        spawns = metrics.counter("worker_pool.spawns")
+        pool.discard_broken()
+        assert metrics.counter("worker_pool.broken") == broken + 1
+        # The next call transparently respawns the workers.
+        assert pool.map(_double, [21]) == [42]
+        assert metrics.counter("worker_pool.spawns") == spawns + 1
+
+
+def test_shared_pool_reuses_and_grows():
+    shutdown_shared_pool()
+    try:
+        small = shared_pool(1)
+        assert shared_pool(1) is small
+        grown = shared_pool(2)
+        assert grown.max_workers >= 2
+        assert shared_pool(1) is grown  # a bigger pool serves smaller asks
+    finally:
+        shutdown_shared_pool()
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_model_fingerprint_stable_and_model_sensitive(
+    tiny_corpus, fitted_pipeline
+):
+    assert model_fingerprint(fitted_pipeline) == model_fingerprint(
+        fitted_pipeline
+    )
+    other = StrudelPipeline(n_estimators=4, random_state=1)
+    other.fit(tiny_corpus.files)
+    assert model_fingerprint(other) != model_fingerprint(fitted_pipeline)
+
+
+def test_model_fingerprint_requires_a_fitted_pipeline():
+    with pytest.raises(NotFittedError):
+        model_fingerprint(StrudelPipeline(n_estimators=4))
+
+
+def test_policy_fingerprint_distinguishes_policies():
+    assert policy_fingerprint(IngestPolicy()) != policy_fingerprint(
+        IngestPolicy(strict=True)
+    )
+
+
+def test_broadcast_payload_drops_feature_cache(fitted_pipeline):
+    from repro.perf.cache import FeatureCache
+
+    fitted_pipeline.set_feature_cache(FeatureCache(max_entries=4))
+    try:
+        clone = pickle.loads(pickle.dumps(fitted_pipeline))
+    finally:
+        fitted_pipeline.set_feature_cache(None)
+    assert clone.line_classifier._feature_cache is None
+    assert clone.cell_classifier._feature_cache is None
+
+
+# ----------------------------------------------------------------------
+# SweepCache
+# ----------------------------------------------------------------------
+def _fake_entry(seed: int) -> dict[str, np.ndarray]:
+    return {
+        "line_codes": np.array([seed % 7, 3], dtype=np.int8),
+        "cell_positions": np.zeros((0, 2), dtype=np.int64),
+        "cell_codes": np.zeros(0, dtype=np.int8),
+        "dialect": np.array([",", '"', ""], dtype=np.str_),
+        "shape": np.array([2, 2], dtype=np.int64),
+    }
+
+
+def test_sweep_cache_entry_key_covers_all_three_parts():
+    keys = {
+        SweepCache.entry_key("c1", "m1", "p1"),
+        SweepCache.entry_key("c2", "m1", "p1"),
+        SweepCache.entry_key("c1", "m2", "p1"),
+        SweepCache.entry_key("c1", "m1", "p2"),
+    }
+    assert len(keys) == 4
+
+
+def test_sweep_cache_roundtrip_and_corrupt_entry_quarantine(tmp_path):
+    cache = SweepCache(tmp_path)
+    key = SweepCache.entry_key("content", "model", "policy")
+    assert cache.load(key, tmp_path / "f.csv") is None  # miss
+    cache.store(key, _fake_entry(0))
+    result = cache.load(key, tmp_path / "f.csv")
+    assert result is not None
+    assert result.dialect.delimiter == ","
+    assert list(result.line_codes) == [0, 3]
+
+    # Torn write on disk: the entry is dropped and costs one miss,
+    # never an exception, and the next store repopulates it.
+    (tmp_path / f"{key}.npz").write_bytes(b"definitely not a zip")
+    assert cache.load(key, tmp_path / "f.csv") is None
+    assert not (tmp_path / f"{key}.npz").exists()
+    cache.store(key, _fake_entry(0))
+    assert cache.load(key, tmp_path / "f.csv") is not None
+    stats = cache.stats()
+    assert stats["hits"] == 2 and stats["misses"] == 2
+
+
+def test_sweep_cache_evicts_oldest_past_the_bound(tmp_path):
+    cache = SweepCache(tmp_path, max_entries=2)
+    keys = [SweepCache.entry_key(f"c{i}", "m", "p") for i in range(3)]
+    for i, key in enumerate(keys):
+        cache.store(key, _fake_entry(i))
+        os.utime(  # make write order unambiguous for the mtime LRU
+            tmp_path / f"{key}.npz", ns=(i * 1_000_000, i * 1_000_000)
+        )
+        if i == 2:
+            break
+    stats = cache.stats()
+    assert stats["size"] == 2 and stats["evictions"] == 1
+    assert not (tmp_path / f"{keys[0]}.npz").exists()
+    assert cache.load(keys[2], tmp_path / "f.csv") is not None
+
+
+def test_sweep_cache_rejects_nonpositive_bound(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        SweepCache(tmp_path, max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# CorpusEngine: parity across execution modes (the pinned contract)
+# ----------------------------------------------------------------------
+def test_sweep_parity_across_jobs_and_cache(
+    fitted_pipeline, corpus_dir, tmp_path
+):
+    with CorpusEngine(fitted_pipeline, n_jobs=1) as engine:
+        sequential, report = engine.sweep_paths(corpus_dir)
+    assert report.completed == len(corpus_dir)
+    assert report.skipped == []
+    assert engine._pool is None  # inline mode never spawns workers
+
+    with CorpusEngine(fitted_pipeline, n_jobs=2) as engine:
+        parallel, _ = engine.sweep_paths(corpus_dir)
+
+    with CorpusEngine(
+        fitted_pipeline, n_jobs=2, cache_dir=tmp_path / "cache"
+    ) as engine:
+        cold, cold_report = engine.sweep_paths(corpus_dir)
+        warm, warm_report = engine.sweep_paths(corpus_dir)
+    assert cold_report.cache_hits == 0
+    assert warm_report.cache_hits == len(corpus_dir)
+    assert warm_report.batches == 0  # all hits: nothing fanned out
+
+    expected = _result_bytes(sequential)
+    assert _result_bytes(parallel) == expected
+    assert _result_bytes(cold) == expected
+    assert _result_bytes(warm) == expected
+
+
+def test_sweep_streams_results_in_input_order(
+    fitted_pipeline, corpus_dir
+):
+    reversed_paths = list(reversed(corpus_dir))
+    with CorpusEngine(fitted_pipeline, n_jobs=2) as engine:
+        emitted = [path for path, _ in engine.sweep(reversed_paths)]
+    assert emitted == reversed_paths
+
+
+def test_sweep_results_decode_to_cell_classes(
+    fitted_pipeline, corpus_dir
+):
+    with CorpusEngine(fitted_pipeline, n_jobs=1) as engine:
+        results, _ = engine.sweep_paths(corpus_dir[:1])
+    (_, result), = results
+    assert len(result.line_classes()) == result.n_rows
+    for (row, col), cls in result.cell_classes().items():
+        assert 0 <= row < result.n_rows
+        assert 0 <= col < result.n_cols
+        assert cls.name  # decoded back to a CellClass member
+
+
+# ----------------------------------------------------------------------
+# CorpusEngine: failure paths
+# ----------------------------------------------------------------------
+def test_sweep_skips_unreadable_files(fitted_pipeline, corpus_dir):
+    paths = [corpus_dir[0], corpus_dir[0].parent / "missing.csv",
+             corpus_dir[1]]
+    with CorpusEngine(fitted_pipeline, n_jobs=1) as engine:
+        results, report = engine.sweep_paths(paths)
+    assert [path.name for path, _ in results] == [
+        corpus_dir[0].name, corpus_dir[1].name
+    ]
+    assert report.completed == 2
+    (skip,) = report.skipped
+    assert skip.path.name == "missing.csv"
+    assert skip.stage == "read"
+
+
+def test_sweep_poison_file_skips_without_aborting(
+    fitted_pipeline, corpus_dir, tmp_path
+):
+    """One unclassifiable file costs one skip entry, nothing else."""
+    # Strict mode turns the size guard into a typed rejection; the
+    # limit is set so exactly the files at least as big as the first
+    # one are poison.
+    small_limit = corpus_dir[0].stat().st_size - 1
+    policy = IngestPolicy(strict=True, max_bytes=small_limit)
+    cache_dir = tmp_path / "cache"
+    with CorpusEngine(
+        fitted_pipeline, n_jobs=2, policy=policy, cache_dir=cache_dir
+    ) as engine:
+        results, report = engine.sweep_paths(corpus_dir[:3])
+    skipped_names = {skip.path.name for skip in report.skipped}
+    completed_names = {path.name for path, _ in results}
+    assert corpus_dir[0].name in skipped_names
+    assert completed_names | skipped_names == {
+        p.name for p in corpus_dir[:3]
+    }
+    assert report.completed + len(report.skipped) == 3
+    for skip in report.skipped:
+        assert skip.stage == "classify"
+        assert "SizeLimitError" in skip.reason
+    # Failures are never admitted into the sweep cache.
+    assert len(list(cache_dir.glob("*.npz"))) == report.completed
+
+
+def test_sweep_worker_crash_is_loud_and_survivable(
+    fitted_pipeline, corpus_dir, tmp_path, monkeypatch
+):
+    """A worker killed mid-batch: metric + warning, the casualties are
+    named in the skip report, and the sweep finishes the rest on a
+    respawned pool."""
+    crash_path = tmp_path / "crashme.csv"
+    crash_path.write_text(
+        corpus_dir[0].read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    paths = [crash_path, corpus_dir[0], corpus_dir[1]]
+    monkeypatch.setattr(engine_mod, "_sweep_batch", _crash_on_marker)
+    metrics = get_metrics()
+    crashes = metrics.counter("sweep.worker_crashes")
+    # window=1 keeps one batch in flight, so the crash is handled
+    # before later files are submitted — they must land on the
+    # respawned pool, not die as cancelled futures.
+    with CorpusEngine(fitted_pipeline, n_jobs=2, window=1) as engine:
+        with pytest.warns(RuntimeWarning, match="worker crashed"):
+            results, report = engine.sweep_paths(paths)
+    assert metrics.counter("sweep.worker_crashes") == crashes + 1
+    assert report.worker_crashes == 1
+    casualties = {skip.path.name for skip in report.skipped}
+    assert "crashme.csv" in casualties
+    for skip in report.skipped:
+        assert skip.stage == "worker"
+        assert "worker crashed" in skip.reason
+    # Files batched after the crash completed on the respawned pool.
+    survivors = {path.name for path, _ in results}
+    assert corpus_dir[1].name in survivors
+    assert report.completed + len(report.skipped) == len(paths)
+
+
+def test_sweep_report_as_dict_names_casualties(
+    fitted_pipeline, corpus_dir
+):
+    missing = corpus_dir[0].parent / "gone.csv"
+    with CorpusEngine(fitted_pipeline, n_jobs=1) as engine:
+        _, report = engine.sweep_paths([corpus_dir[0], missing])
+    payload = report.as_dict()
+    assert payload["files"] == 2
+    assert payload["completed"] == 1
+    (skip,) = payload["skipped"]
+    assert skip["path"].endswith("gone.csv")
+    assert skip["stage"] == "read"
+
+
+def test_engine_rejects_nonpositive_window(fitted_pipeline):
+    with pytest.raises(InvalidParameterError):
+        CorpusEngine(fitted_pipeline, window=0)
+
+
+def test_engine_pool_persists_across_sweeps(
+    fitted_pipeline, corpus_dir
+):
+    metrics = get_metrics()
+    with CorpusEngine(fitted_pipeline, n_jobs=2) as engine:
+        engine.sweep_paths(corpus_dir[:2])
+        spawns = metrics.counter("worker_pool.spawns")
+        engine.sweep_paths(corpus_dir[:2])
+        assert metrics.counter("worker_pool.spawns") == spawns
+    assert engine._pool is None  # close() released the workers
