@@ -58,6 +58,12 @@ PUBLIC_ENTRY_POINTS: tuple[str, ...] = (
     "repro.io.ingest.ingest_bytes",
     "repro.io.ingest.ingest_path",
     "repro.io.ingest.ingest_text",
+    "repro.perf.engine.CorpusEngine.process_payloads",
+    "repro.serve.dlq.DeadLetterQueue.append",
+    "repro.serve.dlq.replay_dead_letters",
+    "repro.serve.protocol.decode_request",
+    "repro.serve.service.ClassificationService.drain",
+    "repro.serve.service.run_service",
 )
 
 #: Parent links of the builtin exceptions this analysis knows.  Names

@@ -74,6 +74,12 @@ NODE_BY_PREFIX: dict[str, str] = {
     "repro.eval": "eval",
     "repro.fuzz": "fuzz",
     "repro.analysis": "analysis",
+    # The long-lived classification service: an asyncio front end and
+    # a replayable dead-letter queue over a standing ``perf.engine``
+    # corpus engine.  Above ``perf.engine`` (it owns one) and below
+    # ``bench``/``app`` (the roundtrip bench drives it, the CLI hosts
+    # it).
+    "repro.serve": "serve",
     "repro.cli": "app",
     "repro.__main__": "app",
     "repro": "app",
@@ -119,10 +125,19 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
             "ml", "obs", "perf", "perf.engine", "types", "util",
         }
     ),
+    # The service shell needs the engine it wraps and the layers the
+    # engine already stands on; notably *not* ``ml`` (models arrive
+    # fitted, through the classifier protocol) and not ``datagen`` /
+    # ``eval`` (serving is a production surface, not an experiment).
+    "serve": frozenset(
+        {"core", "dialect", "errors", "io", "obs", "perf",
+         "perf.engine", "types", "util"}
+    ),
     "bench": frozenset(
         {
             "core", "datagen", "dialect", "errors", "eval", "io",
-            "ml", "obs", "perf", "perf.engine", "types", "util",
+            "ml", "obs", "perf", "perf.engine", "serve", "types",
+            "util",
         }
     ),
     # The ingestion fuzz harness mutates datagen corpora at the byte
@@ -138,7 +153,7 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
         {
             "analysis", "baselines", "bench", "core", "datagen",
             "dialect", "errors", "eval", "fuzz", "io", "ml", "obs",
-            "perf", "perf.engine", "types", "util",
+            "perf", "perf.engine", "serve", "types", "util",
         }
     ),
 }

@@ -20,6 +20,20 @@ the object held by ``X``), and calls to known mutator methods
 (``.append`` / ``.update`` / ``.pop`` / …) on ``self.X``.  Reads are
 deliberately out of scope — unlocked reads are a policy choice the
 tracer makes on purpose.
+
+**Module-level state** gets the same treatment (PR 9): a module that
+creates a top-level ``threading.Lock()`` and mutates a module global
+under ``with _LOCK:`` somewhere has declared that global shared
+state, and every other mutation of it — from any function or method
+in the module — must hold the lock or live in a lock-safe
+underscore-named top-level helper.  There is no ``__init__``
+exemption at module level: a registry like ``pool._LIVE_POOLS`` is
+visible to every thread from import time, so even a constructor's
+``.add`` must lock.  Module import itself (the top-level assignments
+that create the state) is naturally exempt — only function bodies are
+scanned.  A function that binds the same name as a plain local (no
+``global`` declaration) shadows the global, and its mutations are
+ignored.
 """
 
 from __future__ import annotations
@@ -28,7 +42,7 @@ import ast
 from typing import Iterator
 
 from repro.analysis.findings import Finding
-from repro.analysis.graph import ClassInfo, ProjectGraph
+from repro.analysis.graph import ClassInfo, ModuleTable, ProjectGraph
 from repro.analysis.registry import ProjectRule, register
 
 _LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
@@ -39,6 +53,14 @@ _MUTATORS = frozenset({
     "clear", "update", "setdefault", "add", "discard",
     "move_to_end", "sort", "reverse",
 })
+
+
+def _name_root(node: ast.expr) -> str | None:
+    """The ``X`` in an ``X``-rooted chain (``X``, ``X[k]``,
+    ``X.field[k]``), else ``None``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
 
 
 def _self_attr_root(node: ast.expr) -> str | None:
@@ -76,6 +98,12 @@ class LockDisciplineRule(ProjectRule):
             if not locks:
                 continue
             yield from self._check_class(cls, locks)
+        for name in sorted(project.modules):
+            table = project.modules[name]
+            locks = self._module_locks(project, table)
+            if not locks:
+                continue
+            yield from self._check_module(table, locks)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -301,3 +329,203 @@ class LockDisciplineRule(ProjectRule):
         attr = _self_attr_root(target)
         if attr is not None:
             mutations.append((method, attr, stmt, under_lock))
+
+    # ------------------------------------------------------------------
+    # Module-level pass
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _module_locks(
+        project: ProjectGraph, table: ModuleTable
+    ) -> frozenset[str]:
+        """Top-level names assigned a ``threading.Lock()``/``RLock()``."""
+        locks: set[str] = set()
+        for stmt in table.info.tree.body:
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            origin = project.resolve_origin(table, stmt.value.func)
+            if origin in _LOCK_TYPES:
+                locks.add(stmt.targets[0].id)
+        return frozenset(locks)
+
+    @staticmethod
+    def _module_names(table: ModuleTable) -> frozenset[str]:
+        """Every name assigned at the module's top level."""
+        names: set[str] = set()
+        for stmt in table.info.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    names.add(stmt.target.id)
+        return frozenset(names)
+
+    def _check_module(
+        self, table: ModuleTable, locks: frozenset[str]
+    ) -> Iterator[Finding]:
+        module_names = self._module_names(table)
+        functions = list(table.functions.values())
+        for cls in table.classes.values():
+            functions.extend(cls.methods.values())
+        mutations: list[tuple[str, str, ast.AST, bool]] = []
+        calls: list[tuple[str, str, bool]] = []
+        for func in functions:
+            self._scan_global_func(
+                func.name, func.node, module_names, locks,
+                mutations, calls,
+            )
+        # Lock-safe helpers: underscore top-level functions whose
+        # every in-module call site holds a module lock (directly or
+        # through another lock-safe helper); same fixpoint as the
+        # class pass.
+        callers: dict[str, list[tuple[str, bool]]] = {}
+        for caller, callee, locked in calls:
+            callers.setdefault(callee, []).append((caller, locked))
+        lock_safe: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(table.functions):
+                if name in lock_safe or not name.startswith("_"):
+                    continue
+                sites = callers.get(name, [])
+                if sites and all(
+                    locked or caller in lock_safe
+                    for caller, locked in sites
+                ):
+                    lock_safe.add(name)
+                    changed = True
+        guarded = {
+            name
+            for _, name, _, locked in mutations
+            if locked and name not in locks
+        }
+        if not guarded:
+            return
+        for func_name, name, node, locked in mutations:
+            if name not in guarded or locked or func_name in lock_safe:
+                continue
+            yield self.project_finding(
+                str(table.info.path),
+                node.lineno,
+                getattr(node, "col_offset", 0),
+                f"module global {name} is mutated under the lock "
+                f"elsewhere in {table.name} but mutated here without "
+                f"holding it; wrap this in `with "
+                f"{sorted(locks)[0]}:` or move it into a lock-safe "
+                "helper",
+            )
+
+    def _scan_global_func(
+        self,
+        func_name: str,
+        func_node: ast.AST,
+        module_names: frozenset[str],
+        locks: frozenset[str],
+        mutations: list[tuple[str, str, ast.AST, bool]],
+        calls: list[tuple[str, str, bool]],
+    ) -> None:
+        """Scan one function for mutations of module globals.
+
+        A name counts as the module's global inside this function
+        unless the function shadows it with a plain local binding
+        (no ``global`` declaration).
+        """
+        declared: set[str] = set()
+        local_binds: set[str] = set()
+        for node in ast.walk(func_node):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Store
+            ):
+                local_binds.add(node.id)
+
+        def is_global(name: str) -> bool:
+            if name not in module_names:
+                return False
+            return name in declared or name not in local_binds
+
+        def record(target: ast.expr, stmt: ast.stmt, locked: bool):
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    record(element, stmt, locked)
+                return
+            if isinstance(target, ast.Name):
+                # A plain-name rebind is a mutation only when the
+                # function declared the name global; otherwise it just
+                # creates a shadowing local.
+                if target.id in declared and target.id in module_names:
+                    mutations.append(
+                        (func_name, target.id, stmt, locked)
+                    )
+                return
+            root = _name_root(target)
+            if root is not None and is_global(root):
+                mutations.append((func_name, root, stmt, locked))
+
+        def scan_expr(expr: ast.expr, locked: bool):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name):
+                    calls.append((func_name, func.id, locked))
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                ):
+                    root = _name_root(func.value)
+                    if root is not None and is_global(root):
+                        mutations.append(
+                            (func_name, root, node, locked)
+                        )
+
+        def scan_stmt(stmt: ast.stmt, locked: bool):
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquires = any(
+                    isinstance(item.context_expr, ast.Name)
+                    and item.context_expr.id in locks
+                    for item in stmt.items
+                )
+                for item in stmt.items:
+                    scan_expr(item.context_expr, locked)
+                for child in stmt.body:
+                    scan_stmt(child, locked or acquires)
+                return
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    record(target, stmt, locked)
+                scan_expr(stmt.value, locked)
+                return
+            if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                record(stmt.target, stmt, locked)
+                if stmt.value is not None:
+                    scan_expr(stmt.value, locked)
+                return
+            if isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    record(target, stmt, locked)
+                return
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    scan_stmt(child, locked)
+                elif isinstance(child, ast.expr):
+                    scan_expr(child, locked)
+                elif isinstance(
+                    child, (ast.excepthandler, ast.withitem)
+                ):
+                    for grand in ast.iter_child_nodes(child):
+                        if isinstance(grand, ast.stmt):
+                            scan_stmt(grand, locked)
+                        elif isinstance(grand, ast.expr):
+                            scan_expr(grand, locked)
+
+        for stmt in func_node.body:
+            scan_stmt(stmt, False)

@@ -25,6 +25,15 @@ Three commands cover the zero-to-working workflow:
     Run the seeded byte-level ingestion fuzz harness and fail if any
     input escapes the ``Table``-or-``ReproError`` contract; see
     ``docs/robustness.md``.
+``serve``
+    Train a pipeline, then run the long-lived classification service
+    (``repro-serve/1`` newline-delimited JSON over TCP) until
+    SIGINT/SIGTERM, draining gracefully; failures land in the
+    ``--dlq`` dead-letter queue.  See ``docs/serving.md``.
+``dlq``
+    Operate on a dead-letter queue: ``list`` its records, ``replay``
+    them back through a fresh engine (recovered records are removed),
+    or ``purge`` it.
 
 The ``detect``, ``classify`` and ``bench`` commands accept
 ``--trace FILE`` (and ``--trace-format json|text``) to write a span
@@ -42,7 +51,7 @@ from pathlib import Path
 
 import repro
 from repro.analysis import lint_paths, render_json, render_text
-from repro.errors import ConfigurationError, IngestError
+from repro.errors import ConfigurationError, IngestError, ServeError
 from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import CORPUS_BUILDERS, make_corpus
 from repro.fuzz import FuzzConfig, format_fuzz_report, run_fuzz
@@ -50,6 +59,12 @@ from repro.io.annotations import save_annotated_file
 from repro.io.ingest import IngestPolicy, IngestResult, ingest_path
 from repro.io.writer import write_csv_text
 from repro.perf.engine import CorpusEngine
+from repro.serve import (
+    ClassificationService,
+    DeadLetterQueue,
+    replay_dead_letters,
+    run_service,
+)
 from repro.obs import (
     TRACE_FORMATS,
     Tracer,
@@ -114,8 +129,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory-sweep result cache (content-addressed; "
              "re-sweeping unchanged files is near-free)",
     )
+    classify.add_argument(
+        "--fail-on-skip", action="store_true",
+        help="exit 1 if any file in a directory sweep was skipped "
+             "(default: report skips but exit 0)",
+    )
     _add_ingest_flags(classify)
     _add_trace_flags(classify)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived classification service "
+             "(repro-serve/1 over TCP) until SIGINT/SIGTERM",
+    )
+    _add_training_flags(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7333,
+        help="listen port; 0 picks an ephemeral port, printed on "
+             "startup (default: 7333)",
+    )
+    serve.add_argument(
+        "--sweep-cache", type=Path, default=None, metavar="DIR",
+        help="content-addressed result cache shared with classify "
+             "sweeps",
+    )
+    serve.add_argument(
+        "--dlq", type=Path, default=None, metavar="DIR",
+        help="dead-letter queue directory; every failed request is "
+             "recorded there for `repro dlq replay`",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=256,
+        help="submission queue bound — the backpressure knob "
+             "(default: 256)",
+    )
+    serve.add_argument(
+        "--batch-files", type=int, default=32,
+        help="max requests coalesced into one engine batch "
+             "(default: 32)",
+    )
+    _add_ingest_flags(serve)
+    _add_trace_flags(serve)
+
+    dlq = commands.add_parser(
+        "dlq", help="list, replay or purge a dead-letter queue"
+    )
+    dlq.add_argument(
+        "action", choices=("list", "replay", "purge"),
+        help="list records, replay them through a fresh engine, or "
+             "delete them all",
+    )
+    dlq.add_argument(
+        "--dlq", type=Path, required=True, metavar="DIR",
+        help="dead-letter queue directory",
+    )
+    _add_training_flags(dlq)
+    _add_ingest_flags(dlq)
+    _add_trace_flags(dlq)
 
     generate = commands.add_parser(
         "generate", help="write a generated corpus to a directory"
@@ -200,6 +274,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap on failure details printed (default: 10)",
     )
     return parser
+
+
+def _add_training_flags(subparser: argparse.ArgumentParser) -> None:
+    """The pipeline-training knobs shared by serve and dlq replay
+    (mirrors classify's flags and defaults)."""
+    subparser.add_argument(
+        "--corpus", default="saus", choices=sorted(CORPUS_BUILDERS),
+        help="training corpus personality (default: saus)",
+    )
+    subparser.add_argument("--scale", type=float, default=0.15,
+                           help="training corpus scale (default: 0.15)")
+    subparser.add_argument("--trees", type=int, default=40,
+                           help="random forest size (default: 40)")
+    subparser.add_argument("--seed", type=int, default=0)
+    subparser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count for training and classification; never "
+             "changes predictions (default: 1)",
+    )
 
 
 def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
@@ -328,7 +421,72 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
             f"{entry.reason}",
             file=sys.stderr,
         )
+    if args.fail_on_skip and report.skipped:
+        return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    pipeline = _train_pipeline(args, out)
+    policy = IngestPolicy(
+        strict=args.strict, encoding=args.encoding or None
+    )
+    dlq = DeadLetterQueue(args.dlq) if args.dlq is not None else None
+    try:
+        service = ClassificationService(
+            pipeline,
+            n_jobs=args.jobs,
+            policy=policy,
+            sweep_cache=args.sweep_cache,
+            dlq=dlq,
+            queue_size=args.queue_size,
+            batch_files=args.batch_files,
+        )
+    except ServeError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    summary = run_service(
+        service, host=args.host, port=args.port, out=out
+    )
+    print(
+        f"served {summary['results']}/{summary['requests']} requests "
+        f"({summary['dead_letters']} dead-lettered)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_dlq(args: argparse.Namespace, out) -> int:
+    queue = DeadLetterQueue(args.dlq)
+    if args.action == "list":
+        records = queue.records()
+        for record in records:
+            sha = record.payload_sha256 or "-"
+            print(
+                f"{record.request_id}\t{record.stage}\t"
+                f"{record.source}\t{sha[:12]}\treplays="
+                f"{record.replays}\t{record.reason}",
+                file=out,
+            )
+        print(f"{len(records)} dead letter(s) in {args.dlq}", file=out)
+        return 0
+    if args.action == "purge":
+        count = queue.purge()
+        print(f"purged {count} dead letter(s) from {args.dlq}", file=out)
+        return 0
+    if not len(queue):
+        print(f"nothing to replay in {args.dlq}", file=out)
+        return 0
+    pipeline = _train_pipeline(args, out)
+    policy = IngestPolicy(
+        strict=args.strict, encoding=args.encoding or None
+    )
+    with CorpusEngine(
+        pipeline, n_jobs=args.jobs, policy=policy
+    ) as engine:
+        report = replay_dead_letters(queue, engine)
+    print(report.summary(), file=out)
+    return 0 if not report.still_dead else 1
 
 
 def _cmd_classify(args: argparse.Namespace, out) -> int:
@@ -490,6 +648,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "lint": _cmd_lint,
         "bench": _cmd_bench,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
+        "dlq": _cmd_dlq,
     }
     trace_path, trace_format = _resolve_trace(args)
     if trace_path is None:

@@ -65,6 +65,21 @@ class MalformedInputError(IngestError):
     that lenient mode would repair and report instead."""
 
 
+class ServeError(ReproError):
+    """Raised when the classification service is misused: submitting
+    to a service that is draining or was never started, starting a
+    service twice, or configuring it with a nonsensical queue bound."""
+
+
+class ProtocolError(ServeError):
+    """Raised when a wire request violates the ``repro-serve/1``
+    newline-delimited JSON protocol: undecodable JSON, a missing or
+    non-string request id, an unknown operation, or a payload that is
+    neither a path nor valid base64 bytes.  The service never lets
+    this abort a connection — the offending line is dead-lettered and
+    answered with a structured failure response instead."""
+
+
 class EvaluationError(ReproError):
     """Raised when an evaluation run is inconsistent with itself: zero
     score sets to average, or folds that cannot be formed from the

@@ -57,6 +57,11 @@ METRIC_NAMES: tuple[str, ...] = (
     "ingest.truncated_bytes",
     "ingest.unterminated_quote",
     "ingest.dialect_fallback",
+    "serve.requests",
+    "serve.results",
+    "serve.dead_letters",
+    "serve.replays",
+    "serve.inflight",
 )
 
 

@@ -64,6 +64,9 @@ AUX_SPANS: tuple[str, ...] = (
     "forest_compile",
     "sweep",
     "sweep_batch",
+    "serve.batch",
+    "serve.drain",
+    "serve.replay",
 )
 
 

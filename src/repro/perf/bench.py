@@ -34,6 +34,7 @@ diffing a ``--quick`` run against a full one.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import tempfile
 import time
@@ -59,6 +60,8 @@ from repro.io.writer import write_csv_text
 from repro.obs import PIPELINE_STAGES, Tracer, activate, get_tracer
 from repro.perf.cache import FeatureCache
 from repro.perf.engine import CorpusEngine, FileResult, _run_batch
+from repro.serve.client import ServiceClient
+from repro.serve.service import ClassificationService
 from repro.types import Corpus, Table
 from repro.util.rng import as_generator
 
@@ -435,6 +438,58 @@ def _bench_corpus_sweep(config: BenchConfig, corpus: Corpus,
         }
 
 
+def _bench_service_roundtrip(config: BenchConfig, corpus: Corpus,
+                             pipeline: StrudelPipeline) -> dict:
+    """Async service round-trip throughput + parity.
+
+    Every corpus file is submitted concurrently through the
+    in-process :class:`~repro.serve.client.ServiceClient` against a
+    single-worker service, timed submit-to-settle, then drained.  The
+    served results must be byte-identical to a direct engine sweep of
+    the same files — the serve layer may batch and reorder *work*,
+    never *results*.
+    """
+    policy = IngestPolicy()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        paths = materialize_corpus(corpus, Path(tmp) / "files")
+
+        async def drive():
+            service = ClassificationService(
+                pipeline, n_jobs=1, policy=policy
+            )
+            await service.start()
+            client = ServiceClient(service)
+            start = time.perf_counter()
+            results = await asyncio.gather(
+                *(client.classify_path(path) for path in paths)
+            )
+            seconds = time.perf_counter() - start
+            summary = await service.drain()
+            return list(results), seconds, summary
+
+        served, seconds, summary = asyncio.run(drive())
+        failures = [
+            r for r in served if not isinstance(r, FileResult)
+        ]
+        if failures:
+            raise InvalidParameterError(
+                f"service round-trip skipped {failures[0].path}: "
+                f"{failures[0].reason}"
+            )
+        with CorpusEngine(pipeline, n_jobs=1, policy=policy) as engine:
+            direct, _report = engine.sweep_paths(paths)
+        return {
+            "files": len(paths),
+            "seconds": seconds,
+            "files_per_second": len(paths) / seconds,
+            "requests": summary["requests"],
+            "dead_letters": summary["dead_letters"],
+            "byte_identical": _sweep_results_identical(
+                served, [result for _, result in direct]
+            ),
+        }
+
+
 def run_benchmark(config: BenchConfig | None = None) -> dict:
     """Run the full harness and return the report as a plain dict."""
     config = config or BenchConfig()
@@ -474,6 +529,9 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
     prediction = _bench_prediction(pipeline, text, config.repeats)
     cv = _bench_cv(config, corpus)
     corpus_sweep = _bench_corpus_sweep(config, corpus, pipeline)
+    service_roundtrip = _bench_service_roundtrip(
+        config, corpus, pipeline
+    )
 
     cache_stats = cache.stats()
     return {
@@ -496,6 +554,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
         },
         "cv": cv,
         "corpus_sweep": corpus_sweep,
+        "service_roundtrip": service_roundtrip,
     }
 
 
@@ -556,6 +615,9 @@ def _timing_metrics(report: dict) -> dict[str, float]:
         metrics["corpus_sweep.sequential_seconds"] = (
             sweep["sequential_seconds"]
         )
+    roundtrip = report.get("service_roundtrip")
+    if roundtrip is not None:
+        metrics["service_roundtrip.seconds"] = roundtrip["seconds"]
     return metrics
 
 
@@ -764,6 +826,19 @@ def format_summary(report: dict) -> str:
                 f"  ({sweep['cache_speedup']:.2f}x vs cold "
                 f"{sweep['cache_cold_seconds']:.3f}s)",
                 f"  byte-identical       {sweep['byte_identical']}",
+            ]
+        )
+    roundtrip = report.get("service_roundtrip")
+    if roundtrip is not None:
+        lines.extend(
+            [
+                f"service round-trip ({roundtrip['files']} files, "
+                "in-process async client):",
+                "  submit-to-settle     "
+                f"{roundtrip['seconds']:>8.3f}s"
+                f"  ({roundtrip['files_per_second']:,.1f} files/s, "
+                f"{roundtrip['dead_letters']} dead-lettered)",
+                f"  byte-identical       {roundtrip['byte_identical']}",
             ]
         )
     return "\n".join(lines)

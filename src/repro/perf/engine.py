@@ -71,6 +71,12 @@ _CODE_TO_CLASS: dict[int, CellClass] = {
     code: cls for cls, code in _CLASS_CODES.items()
 }
 
+#: Public aliases of the code tables, for layers that serialize
+#: :class:`FileResult` arrays across other boundaries (the serve
+#: protocol re-encodes them as JSON and must agree on the codes).
+CLASS_CODES = _CLASS_CODES
+CODE_TO_CLASS = _CODE_TO_CLASS
+
 #: Aim for this many micro-batches per worker, so one slow shard
 #: cannot serialize the sweep's tail while keeping per-batch overhead
 #: (submit + result pickling) amortized over many files.
@@ -548,6 +554,147 @@ class CorpusEngine:
         run = self.sweep(paths)
         return run.collect(), run.report
 
+    def process_payloads(
+        self, items: Sequence[tuple[str, bytes]]
+    ) -> tuple[list["FileResult | SkipEntry"], SweepReport]:
+        """Classify in-memory payloads through the warm pool.
+
+        The service front end's entry point: no filesystem access,
+        and the return value is a list **aligned with** ``items`` — a
+        :class:`FileResult` per success, a :class:`SkipEntry` per
+        failure (stage ``"classify"`` or ``"worker"``) — plus the
+        run's :class:`SweepReport`.  The sweep cache is consulted and
+        populated exactly as in :meth:`sweep`, so a served payload and
+        a swept file with the same bytes share one cache entry.
+
+        Unlike :meth:`sweep`, every micro-batch is submitted up front
+        (the caller — a bounded service queue — provides the
+        backpressure), so a worker crash fails the remaining batches
+        of *this call* loudly instead of resubmitting them; the
+        entries are replayable and the pool respawns for the next
+        call.
+        """
+        indexed = [
+            (i, str(name), bytes(data))
+            for i, (name, data) in enumerate(items)
+        ]
+        report = SweepReport(files=len(indexed))
+        out: list[FileResult | SkipEntry | None] = [None] * len(indexed)
+        tracer = get_tracer()
+        with tracer.span("sweep", n_files=len(indexed)):
+            pending: list[tuple[int, str, bytes]] = []
+            for i, name, data in indexed:
+                if self.cache is not None:
+                    cached = self.cache.load(
+                        self._cache_key(data), Path(name)
+                    )
+                    if cached is not None:
+                        report.cache_hits += 1
+                        report.completed += 1
+                        out[i] = cached
+                        continue
+                pending.append((i, name, data))
+            for batch, results in self._compute_batches(
+                pending, report, tracer
+            ):
+                if results is None:
+                    # Worker crash: _crashed_batch named the
+                    # casualties; align them with their slots.
+                    entries = report.skipped[-len(batch):]
+                    for (i, _name, _data), entry in zip(batch, entries):
+                        out[i] = entry
+                    continue
+                settled = self._settle_batch(
+                    batch, dict(results), report
+                )
+                for (i, _name, _data), (_path, payload) in zip(
+                    batch, settled
+                ):
+                    out[i] = payload
+        self._metrics.increment("sweep.files", len(indexed))
+        self._metrics.increment("sweep.skipped", len(report.skipped))
+        return list(out), report
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, data: bytes) -> str:
+        """The sweep-cache address of one payload under this engine."""
+        return SweepCache.entry_key(
+            file_content_hash(data), self._fingerprint, self._policy_key
+        )
+
+    @staticmethod
+    def _payload_batches(
+        pending: list[tuple[int, str, bytes]], workers: int
+    ) -> list[list[tuple[int, str, bytes]]]:
+        """Contiguous size-balanced micro-batches of raw payloads."""
+        if not pending:
+            return []
+        total = sum(len(data) for _i, _name, data in pending)
+        budget = max(1, total // max(1, workers * _BATCHES_PER_WORKER))
+        batches: list[list[tuple[int, str, bytes]]] = []
+        batch: list[tuple[int, str, bytes]] = []
+        batch_bytes = 0
+        for entry in pending:
+            batch.append(entry)
+            batch_bytes += len(entry[2])
+            if batch_bytes >= budget or len(batch) >= _MAX_BATCH_FILES:
+                batches.append(batch)
+                batch = []
+                batch_bytes = 0
+        if batch:
+            batches.append(batch)
+        return batches
+
+    def _compute_batches(self, pending, report, tracer):
+        """Shard ``pending`` payloads and resolve every micro-batch.
+
+        Yields ``(batch, results)`` pairs; ``results`` is ``None`` for
+        a batch whose worker died (the casualties are already in the
+        report).  An interrupt mid-flight cancels the outstanding
+        futures and discards the pool before re-raising, so the next
+        call on this engine starts from a clean executor.
+        """
+        workers = effective_jobs(self._n_jobs, max(len(pending), 1))
+        batches = self._payload_batches(pending, workers)
+        if workers <= 1:
+            for batch in batches:
+                report.batches += 1
+                self._metrics.increment("sweep.batches")
+                with tracer.span("sweep_batch", n_files=len(batch)):
+                    yield batch, _run_batch(
+                        self._pipeline, self._policy, batch
+                    )
+            return
+        pool = self._ensure_pool(workers)
+        futures = [
+            (batch, pool.submit(_sweep_batch, list(batch)))
+            for batch in batches
+        ]
+        for batch, _future in futures:
+            report.batches += 1
+            self._metrics.increment("sweep.batches")
+        try:
+            for batch, future in futures:
+                try:
+                    with tracer.span("sweep_batch", n_files=len(batch)):
+                        results = future.result()
+                except (BrokenProcessPool, CancelledError) as exc:
+                    self._crashed_batch(batch, report, exc)
+                    yield batch, None
+                else:
+                    yield batch, results
+        except BaseException:
+            for _batch, future in futures:
+                future.cancel()
+            self._discard_pool()
+            raise
+
+    def _discard_pool(self) -> None:
+        """Drop the warm pool; the next use respawns + rebroadcasts."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
     # ------------------------------------------------------------------
     def _ensure_pool(self, workers: int) -> WorkerPool:
         """The engine's private pool, broadcast included, grown to
@@ -618,37 +765,60 @@ class CorpusEngine:
             batch = []
             batch_bytes = 0
 
-        for index, path in enumerate(paths):
-            try:
-                data = path.read_bytes()
-            except OSError as exc:
-                report.skipped.append(
-                    SkipEntry(path, "read", f"{type(exc).__name__}: {exc}")
-                )
-                continue
-            key = None
-            if self.cache is not None:
-                key = SweepCache.entry_key(
-                    file_content_hash(data),
-                    self._fingerprint,
-                    self._policy_key,
-                )
-                cached = self.cache.load(key, path)
-                if cached is not None:
-                    report.cache_hits += 1
-                    queue.append(("hit", path, cached))
+        # Anything that is not part of the sweep's own failure
+        # handling — KeyboardInterrupt, an outer cancellation, the
+        # consumer abandoning this generator (GeneratorExit) — must
+        # not leave the engine with a half-drained window: cancel the
+        # outstanding futures, drop the pool, and re-raise, so the
+        # next sweep on this engine starts clean.
+        try:
+            for index, path in enumerate(paths):
+                try:
+                    data = path.read_bytes()
+                except OSError as exc:
+                    report.skipped.append(
+                        SkipEntry(
+                            path, "read", f"{type(exc).__name__}: {exc}"
+                        )
+                    )
                     continue
-            batch.append((index, str(path), data))
-            batch_bytes += len(data)
-            if batch_bytes >= budget or len(batch) >= _MAX_BATCH_FILES:
-                close_batch()
-                while inflight >= window or (inline and inflight):
-                    inflight -= self._emitted_batches(queue, report)
-                    yield from self._emit_front(queue, report, tracer)
-        close_batch()
-        while queue:
-            inflight -= self._emitted_batches(queue, report)
-            yield from self._emit_front(queue, report, tracer)
+                if self.cache is not None:
+                    cached = self.cache.load(self._cache_key(data), path)
+                    if cached is not None:
+                        report.cache_hits += 1
+                        queue.append(("hit", path, cached))
+                        continue
+                batch.append((index, str(path), data))
+                batch_bytes += len(data)
+                if (
+                    batch_bytes >= budget
+                    or len(batch) >= _MAX_BATCH_FILES
+                ):
+                    close_batch()
+                    while inflight >= window or (inline and inflight):
+                        inflight -= self._emitted_batches(queue, report)
+                        yield from self._emit_front(queue, report, tracer)
+            close_batch()
+            while queue:
+                inflight -= self._emitted_batches(queue, report)
+                yield from self._emit_front(queue, report, tracer)
+        except BaseException:
+            self._abort_window(queue)
+            raise
+
+    def _abort_window(self, queue: deque) -> None:
+        """A sweep died mid-window: cancel the in-flight batch futures
+        and discard the pool (workers may hold half-submitted state),
+        so a later sweep respawns and rebroadcasts instead of
+        inheriting a wedged executor.  Inline sweeps have no futures
+        and keep nothing worth discarding."""
+        outstanding = 0
+        for kind, token, _files in queue:
+            if kind == "batch" and isinstance(token, Future):
+                token.cancel()
+                outstanding += 1
+        if outstanding:
+            self._discard_pool()
 
     @staticmethod
     def _emitted_batches(queue: deque, report) -> int:
@@ -669,32 +839,42 @@ class CorpusEngine:
         except (BrokenProcessPool, CancelledError) as exc:
             self._crashed_batch(files, report, exc)
             return
-        outcomes = dict(results)
+        for path, payload in self._settle_batch(
+            files, dict(results), report
+        ):
+            if isinstance(payload, FileResult):
+                yield path, payload
+
+    def _settle_batch(
+        self, files, outcomes: dict, report
+    ) -> list[tuple[Path, "FileResult | SkipEntry"]]:
+        """Resolve one computed batch against its submitted files.
+
+        Returns exactly one ``(path, FileResult | SkipEntry)`` pair
+        per file, in submission order; successes are decoded, cached,
+        and counted, failures are appended to ``report.skipped`` with
+        stage ``"classify"``.
+        """
+        settled: list[tuple[Path, FileResult | SkipEntry]] = []
         for index, name, data in files:
             path = Path(name)
             outcome = outcomes.get(index)
             if isinstance(outcome, dict):
                 result = _decode_arrays(path, outcome)
                 if self.cache is not None:
-                    self.cache.store(
-                        SweepCache.entry_key(
-                            file_content_hash(data),
-                            self._fingerprint,
-                            self._policy_key,
-                        ),
-                        outcome,
-                    )
+                    self.cache.store(self._cache_key(data), outcome)
                 report.completed += 1
-                yield path, result
+                settled.append((path, result))
             else:
                 reason = (
                     outcome[1]
                     if isinstance(outcome, tuple)
                     else "no result returned for file"
                 )
-                report.skipped.append(
-                    SkipEntry(path, "classify", reason)
-                )
+                entry = SkipEntry(path, "classify", reason)
+                report.skipped.append(entry)
+                settled.append((path, entry))
+        return settled
 
     def _resolve(self, token):
         """Batch results from a token: future, or inline work list."""

@@ -52,7 +52,12 @@ R = TypeVar("R")
 
 #: Every live WorkerPool, so interpreter exit can reap their workers.
 #: Weak references: a pool dropped by its owner must be collectable —
-#: its executor's own finalizer handles the workers.
+#: its executor's own finalizer handles the workers.  Guarded by
+#: ``_REGISTRY_LOCK``: registration races the atexit sweep, and a
+#: WeakSet mutating mid-iteration (a pool garbage-collected while
+#: :func:`shutdown_all_pools` walks it) raises ``RuntimeError`` at the
+#: worst possible moment — interpreter teardown.
+_REGISTRY_LOCK = threading.Lock()
 _LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
 
 
@@ -87,7 +92,8 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._executor: ProcessPoolExecutor | None = None
         self._metrics = get_metrics()
-        _LIVE_POOLS.add(self)
+        with _REGISTRY_LOCK:
+            _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
@@ -205,10 +211,27 @@ def shutdown_shared_pool() -> None:
 
 
 def shutdown_all_pools() -> None:
-    """Stop every live pool's workers (registered with ``atexit``)."""
-    shutdown_shared_pool()
-    for pool in list(_LIVE_POOLS):
-        pool.shutdown(wait=False)
+    """Stop every live pool's workers (registered with ``atexit``).
+
+    Runs at interpreter exit, where nothing can be assumed healthy: a
+    pool whose workers already crashed, an executor half-finalized by
+    its own atexit hook, a WeakSet entry dying mid-sweep.  The
+    registry is snapshotted under its lock and every shutdown failure
+    is tolerated — a dead executor is exactly the outcome we wanted,
+    and an exception escaping an atexit callback prints a spurious
+    traceback over an otherwise clean exit.
+    """
+    try:
+        shutdown_shared_pool()
+    except Exception:
+        pass
+    with _REGISTRY_LOCK:
+        pools = list(_LIVE_POOLS)
+    for pool in pools:
+        try:
+            pool.shutdown(wait=False)
+        except Exception:
+            continue
 
 
 atexit.register(shutdown_all_pools)

@@ -366,6 +366,138 @@ class TestR105LockDiscipline:
         assert findings == []
 
 
+class TestR105ModuleLockDiscipline:
+    """The module-global half of R105 (PR 9): a module-level lock
+    guarding module-level state binds every function in the module —
+    methods included, with no ``__init__`` exemption."""
+
+    HEADER = (
+        "import threading\n"
+        "\n"
+        "_LOCK = threading.Lock()\n"
+        "_CACHE = {}\n"
+        "_HITS = 0\n"
+        "\n"
+    )
+
+    def run(self, body: str):
+        return lint_sources(
+            {"repro.dialect.memo": f"{self.HEADER}{body}"},
+            select=["R105"],
+        )
+
+    def test_unlocked_subscript_mutation_flagged(self):
+        findings = self.run(
+            "def put(key, value):\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = value\n"
+            "def sneak(key, value):\n"
+            "    _CACHE[key] = value\n"
+        )
+        assert rule_ids(findings) == ["R105"]
+        assert "_CACHE" in findings[0].message
+        assert "_LOCK" in findings[0].message
+
+    def test_unlocked_global_rebind_flagged(self):
+        findings = self.run(
+            "def bump():\n"
+            "    global _HITS\n"
+            "    with _LOCK:\n"
+            "        _HITS += 1\n"
+            "def bad_bump():\n"
+            "    global _HITS\n"
+            "    _HITS += 1\n"
+        )
+        assert rule_ids(findings) == ["R105"]
+
+    def test_all_mutations_locked_is_clean(self):
+        findings = self.run(
+            "def put(key, value):\n"
+            "    global _HITS\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = value\n"
+            "        _HITS += 1\n"
+            "def reset():\n"
+            "    global _HITS\n"
+            "    with _LOCK:\n"
+            "        _CACHE.clear()\n"
+            "        _HITS = 0\n"
+        )
+        assert findings == []
+
+    def test_lock_safe_module_helper_is_clean(self):
+        # The detector's `_memo_put`/eviction shape: an underscore
+        # helper whose every call site holds the lock.
+        findings = self.run(
+            "def put(key, value):\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = value\n"
+            "        _evict()\n"
+            "def _evict():\n"
+            "    while len(_CACHE) > 4:\n"
+            "        _CACHE.popitem()\n"
+        )
+        assert findings == []
+
+    def test_helper_with_unlocked_call_site_flagged(self):
+        findings = self.run(
+            "def put(key, value):\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = value\n"
+            "        _evict()\n"
+            "def _evict():\n"
+            "    _CACHE.popitem()\n"
+            "def shrink():\n"
+            "    _evict()\n"
+        )
+        assert rule_ids(findings) == ["R105"]
+
+    def test_local_shadowing_is_ignored(self):
+        findings = self.run(
+            "def put(key, value):\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = value\n"
+            "def scratch(key, value):\n"
+            "    _CACHE = {}\n"
+            "    _CACHE[key] = value\n"
+            "    return _CACHE\n"
+        )
+        assert findings == []
+
+    def test_init_has_no_module_level_exemption(self):
+        # A constructor touching *module* state is not construction of
+        # the object that owns the lock; it races like any function.
+        findings = self.run(
+            "def put(key, value):\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = value\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        _CACHE['registry'] = self\n"
+        )
+        assert rule_ids(findings) == ["R105"]
+
+    def test_never_locked_module_state_is_clean(self):
+        findings = self.run(
+            "def put(key, value):\n"
+            "    _CACHE[key] = value\n"
+            "def drop(key):\n"
+            "    _CACHE.pop(key, None)\n"
+        )
+        assert findings == []
+
+    def test_import_time_initialization_is_not_a_mutation(self):
+        # The top-level assignments creating the state are the one
+        # place that cannot hold the lock (it may not exist yet).
+        findings = self.run(
+            "_SEED = {'a': 1}\n"
+            "def read(key):\n"
+            "    with _LOCK:\n"
+            "        return _CACHE.get(key, _SEED.get(key))\n"
+        )
+        assert findings == []
+
+
 class TestRunnerInteractions:
     def test_unparseable_file_fails_even_with_select(self, tmp_path):
         # R000 is reserved and cannot be deselected: a broken file must

@@ -409,3 +409,214 @@ class TestBenchBaseline:
         comparison = written["baseline_comparison"]
         assert comparison["tolerance"] == 0.5
         assert comparison["regressions"] == []
+
+
+class TestFailOnSkip:
+    """``classify <dir> --fail-on-skip``: skips flip the exit code."""
+
+    @staticmethod
+    def _mixed_dir(tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "good.csv").write_text(
+            "Region,Q1,Q2\nNorth,5,7\nSouth,6,8\n", encoding="utf-8"
+        )
+        (corpus / "damaged.csv").write_bytes(b"a,\x00b\n1,2\n3,4\n")
+        return corpus
+
+    def _sweep(self, corpus, *extra):
+        out = io.StringIO()
+        code = main(
+            [
+                "classify", str(corpus), "--scale", "0.05",
+                "--trees", "8", "--strict", *extra,
+            ],
+            out=out,
+        )
+        return code, out.getvalue()
+
+    def test_skips_exit_zero_by_default(self, tmp_path, capsys):
+        corpus = self._mixed_dir(tmp_path)
+        code, text = self._sweep(corpus)
+        assert code == 0
+        assert "1 skipped" in text
+        assert "damaged.csv" in capsys.readouterr().err
+
+    def test_fail_on_skip_exits_one(self, tmp_path, capsys):
+        corpus = self._mixed_dir(tmp_path)
+        code, text = self._sweep(corpus, "--fail-on-skip")
+        assert code == 1
+        assert "swept 1/2 files" in text
+
+    def test_clean_sweep_passes_with_the_flag(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "good.csv").write_text(
+            "Region,Q1,Q2\nNorth,5,7\nSouth,6,8\n", encoding="utf-8"
+        )
+        code, text = self._sweep(corpus, "--fail-on-skip")
+        assert code == 0
+        assert "0 skipped" in text
+
+
+class TestDlqCommand:
+    """``repro dlq list|replay|purge`` over a queue on disk."""
+
+    DAMAGED = b"Region,Q1\nNorth,\x005\nSouth,6\n"
+
+    @staticmethod
+    def _queue(tmp_path):
+        from repro.serve import DeadLetterQueue
+
+        return DeadLetterQueue(
+            tmp_path / "dlq", clock=lambda: "2026-01-01T00:00:00+00:00"
+        )
+
+    def test_list_names_records_and_count(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.append(
+            "r1", "damaged.csv", "classify", "NUL byte",
+            payload=self.DAMAGED,
+        )
+        out = io.StringIO()
+        assert main(
+            ["dlq", "list", "--dlq", str(tmp_path / "dlq")], out=out
+        ) == 0
+        text = out.getvalue()
+        assert "r1\tclassify\tdamaged.csv" in text
+        assert "1 dead letter(s)" in text
+
+    def test_replay_empty_queue_is_a_cheap_noop(self, tmp_path):
+        out = io.StringIO()
+        assert main(
+            ["dlq", "replay", "--dlq", str(tmp_path / "dlq")], out=out
+        ) == 0
+        assert "nothing to replay" in out.getvalue()
+
+    def test_lenient_replay_recovers_and_exits_zero(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.append(
+            "r1", "damaged.csv", "classify", "NUL byte",
+            payload=self.DAMAGED,
+        )
+        out = io.StringIO()
+        code = main(
+            [
+                "dlq", "replay", "--dlq", str(tmp_path / "dlq"),
+                "--scale", "0.05", "--trees", "8",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "1 recovered" in out.getvalue()
+        assert len(queue) == 0
+
+    def test_strict_replay_keeps_the_record_and_exits_one(
+        self, tmp_path
+    ):
+        queue = self._queue(tmp_path)
+        queue.append(
+            "r1", "damaged.csv", "classify", "NUL byte",
+            payload=self.DAMAGED,
+        )
+        out = io.StringIO()
+        code = main(
+            [
+                "dlq", "replay", "--dlq", str(tmp_path / "dlq"),
+                "--scale", "0.05", "--trees", "8", "--strict",
+            ],
+            out=out,
+        )
+        assert code == 1
+        assert "1 still dead" in out.getvalue()
+        (record,) = queue.records()
+        assert record.replays == 1
+
+    def test_purge_empties_the_queue(self, tmp_path):
+        queue = self._queue(tmp_path)
+        queue.append("r1", "a.csv", "read", "gone")
+        out = io.StringIO()
+        assert main(
+            ["dlq", "purge", "--dlq", str(tmp_path / "dlq")], out=out
+        ) == 0
+        assert "purged 1 dead letter(s)" in out.getvalue()
+        assert len(queue) == 0
+
+
+class TestServeCommand:
+    def test_bad_queue_size_exits_two(self, capsys):
+        out = io.StringIO()
+        code = main(
+            [
+                "serve", "--scale", "0.02", "--trees", "4",
+                "--queue-size", "0",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "queue_size" in capsys.readouterr().err
+
+    def test_sigint_under_load_drains_cleanly(self, tmp_path):
+        """The lifecycle acceptance story end to end: a served process
+        answers TCP requests, takes SIGINT mid-conversation, drains,
+        and exits 0 with the final counts on stdout."""
+        import json
+        import os
+        import re
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        good = tmp_path / "good.csv"
+        good.write_text(
+            "Region,Q1,Q2\nNorth,5,7\nSouth,6,8\n", encoding="utf-8"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--scale", "0.02", "--trees", "4", "--port", "0",
+                "--dlq", str(tmp_path / "dlq"),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            while banner and "listening on" not in banner:
+                banner = proc.stdout.readline()
+            match = re.search(r"listening on [^:]+:(\d+)", banner)
+            assert match, banner
+            port = int(match.group(1))
+            with socket.create_connection(
+                ("127.0.0.1", port), timeout=30
+            ) as sock:
+                handle = sock.makefile("rwb")
+                for request_id in ("r1", "r2"):
+                    handle.write(
+                        json.dumps(
+                            {
+                                "id": request_id,
+                                "op": "classify",
+                                "path": str(good),
+                            }
+                        ).encode("utf-8") + b"\n"
+                    )
+                    handle.flush()
+                    response = json.loads(handle.readline())
+                    assert response["id"] == request_id
+                    assert response["ok"] is True
+                proc.send_signal(signal.SIGINT)
+                time.sleep(0.1)
+            stdout, stderr = proc.communicate(timeout=120)
+        except BaseException:
+            proc.kill()
+            raise
+        assert proc.returncode == 0, stderr
+        assert "served 2/2 requests (0 dead-lettered)" in stdout

@@ -130,3 +130,65 @@ class TestDetection:
         # Only the first lines matter; junk far below must not break it.
         text = "a,b,c\n" * 50 + "zzz|zzz|zzz\n" * 500
         assert DialectDetector(max_lines=20).detect(text).delimiter == ","
+
+
+class TestDetectionMemo:
+    """The module-level detection memo: consistency of its counters,
+    including under concurrent detection (the R105 lock-discipline
+    story — every counter mutation happens under ``_MEMO_LOCK``)."""
+
+    def test_repeat_detection_hits_the_memo(self):
+        from repro.dialect.detector import (
+            clear_dialect_memo,
+            dialect_memo_stats,
+        )
+
+        clear_dialect_memo()
+        text = "x;1\ny;2\nz;3\n"
+        first = detect_dialect(text)
+        second = detect_dialect(text)
+        assert first == second
+        stats = dialect_memo_stats()
+        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_memo_counters_stay_consistent_across_threads(self):
+        """N threads hammering a small text pool: no update may be
+        lost — hits + misses must equal the exact number of detect
+        calls, and the entry count the distinct-sample count."""
+        import random
+        import threading
+
+        from repro.dialect.detector import (
+            clear_dialect_memo,
+            dialect_memo_stats,
+        )
+
+        clear_dialect_memo()
+        texts = [f"h{i},k\n1,2\n3,4\n5,6\n" for i in range(8)]
+        n_threads, calls_each = 6, 50
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(calls_each):
+                    detect_dialect(rng.choice(texts))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = dialect_memo_stats()
+        assert stats["hits"] + stats["misses"] == n_threads * calls_each
+        assert stats["entries"] == len(texts)
+        # Every distinct text missed at least once, never spuriously
+        # more than once per thread (the lookup and insert race is
+        # benign but bounded).
+        assert len(texts) <= stats["misses"] <= len(texts) * n_threads

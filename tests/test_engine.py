@@ -13,6 +13,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -381,6 +385,179 @@ def test_sweep_report_as_dict_names_casualties(
     (skip,) = payload["skipped"]
     assert skip["path"].endswith("gone.csv")
     assert skip["stage"] == "read"
+
+
+def test_sweep_interrupt_cancels_window_and_engine_survives(
+    fitted_pipeline, corpus_dir
+):
+    """Ctrl-C mid-sweep must not leave the engine wedged: the
+    in-flight futures are cancelled, the pool is discarded, the
+    interrupt propagates — and the *same* engine's next sweep runs on
+    a fresh pool and completes."""
+    with CorpusEngine(fitted_pipeline, n_jobs=2, window=2) as engine:
+        real_resolve = engine._resolve
+        calls = {"n": 0}
+
+        def interrupt_first(token):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return real_resolve(token)
+
+        engine._resolve = interrupt_first
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                engine.sweep_paths(corpus_dir)
+        finally:
+            del engine._resolve  # back to the class implementation
+        assert engine._pool is None  # the window was discarded
+
+        results, report = engine.sweep_paths(corpus_dir)
+    assert report.completed == len(corpus_dir)
+    assert report.skipped == []
+    assert [path for path, _ in results] == list(corpus_dir)
+
+
+def test_abandoned_sweep_iterator_releases_the_window(
+    fitted_pipeline, corpus_dir
+):
+    """A consumer that walks away from the streaming iterator
+    (GeneratorExit) gets the same cleanup as an interrupt."""
+    with CorpusEngine(fitted_pipeline, n_jobs=2, window=2) as engine:
+        run = iter(engine.sweep(corpus_dir))
+        next(run)
+        run.close()
+        assert engine._pool is None
+        _, report = engine.sweep_paths(corpus_dir)
+    assert report.completed == len(corpus_dir)
+
+
+def test_atexit_teardown_tolerates_dead_executors():
+    """Interpreter exit with a live-but-broken pool: the atexit sweep
+    must swallow the wreckage and exit 0 with a quiet stderr, not
+    race the registry or re-raise out of ``shutdown_all_pools``."""
+    script = textwrap.dedent(
+        """
+        from repro.perf.pool import WorkerPool, shared_pool
+
+        pool = WorkerPool(1)
+        assert pool.map(abs, [-3]) == [3]
+        shared = shared_pool(1)
+        assert shared.map(abs, [-5]) == [5]
+        # Kill the workers behind the registry's back, then exit
+        # without shutting anything down: atexit owns the cleanup.
+        for owner in (pool, shared):
+            for proc in list(owner._executor._processes.values()):
+                proc.kill()
+                proc.join()
+        """
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# CorpusEngine.process_payloads (the serve substrate)
+# ----------------------------------------------------------------------
+def test_process_payloads_parity_with_sweep(
+    fitted_pipeline, corpus_dir
+):
+    items = [
+        (str(path), path.read_bytes()) for path in corpus_dir
+    ]
+    with CorpusEngine(fitted_pipeline, n_jobs=1) as engine:
+        swept, _ = engine.sweep_paths(corpus_dir)
+        payloads, report = engine.process_payloads(items)
+    assert report.completed == len(items)
+    assert report.skipped == []
+    assert _result_bytes(swept) == _result_bytes(
+        [(Path(name), result) for (name, _), result in
+         zip(items, payloads)]
+    )
+
+
+def test_process_payloads_aligns_skips_in_place(
+    fitted_pipeline, corpus_dir
+):
+    """The aligned-list contract: a failure occupies its input slot
+    as a SkipEntry, successes keep theirs."""
+    policy = IngestPolicy(strict=True)
+    items = [
+        (str(corpus_dir[0]), corpus_dir[0].read_bytes()),
+        ("damaged.csv", b"a,\x00b\n1,2\n"),
+        (str(corpus_dir[1]), corpus_dir[1].read_bytes()),
+    ]
+    with CorpusEngine(
+        fitted_pipeline, n_jobs=1, policy=policy
+    ) as engine:
+        outcomes, report = engine.process_payloads(items)
+    assert len(outcomes) == 3
+    assert outcomes[0].path.name == corpus_dir[0].name
+    assert outcomes[1].stage == "classify"
+    assert "damaged.csv" in str(outcomes[1].path)
+    assert outcomes[2].path.name == corpus_dir[1].name
+    assert report.completed == 2
+    assert [skip.path.name for skip in report.skipped] == [
+        "damaged.csv"
+    ]
+
+
+def test_process_payloads_shares_the_sweep_cache(
+    fitted_pipeline, corpus_dir, tmp_path
+):
+    """A swept file and a served payload with the same bytes hit one
+    cache entry — and a cached payload never fans out a batch."""
+    items = [(str(path), path.read_bytes()) for path in corpus_dir]
+    with CorpusEngine(
+        fitted_pipeline, n_jobs=1, cache_dir=tmp_path / "cache"
+    ) as engine:
+        engine.sweep_paths(corpus_dir)
+        outcomes, report = engine.process_payloads(items)
+    assert report.cache_hits == len(items)
+    assert report.batches == 0
+    assert all(hasattr(o, "line_codes") for o in outcomes)
+
+
+def test_process_payloads_worker_crash_names_aligned_casualties(
+    fitted_pipeline, corpus_dir, monkeypatch
+):
+    """A worker killed mid-call: every slot still settles (FileResult
+    or SkipEntry), the marker file is named a worker-stage casualty,
+    and the engine's next call runs on a respawned pool.  All batches
+    were submitted up front, so sibling batches may die with the pool
+    — loudly, never silently."""
+    monkeypatch.setattr(engine_mod, "_sweep_batch", _crash_on_marker)
+    data = corpus_dir[0].read_bytes()
+    items = [("crashme.csv", data)] + [
+        (str(path), path.read_bytes()) for path in corpus_dir
+    ]
+    metrics = get_metrics()
+    crashes = metrics.counter("sweep.worker_crashes")
+    with CorpusEngine(fitted_pipeline, n_jobs=2) as engine:
+        with pytest.warns(RuntimeWarning, match="worker crashed"):
+            outcomes, report = engine.process_payloads(items)
+        assert metrics.counter("sweep.worker_crashes") >= crashes + 1
+        assert len(outcomes) == len(items)
+        casualties = [
+            o for o in outcomes
+            if not hasattr(o, "line_codes") and o.stage == "worker"
+        ]
+        assert any("crashme" in str(o.path) for o in casualties)
+        assert report.completed + len(report.skipped) == len(items)
+        # The dead letters are replayable: the same engine serves the
+        # clean payloads on a respawned pool.
+        monkeypatch.setattr(engine_mod, "_sweep_batch", _REAL_SWEEP_BATCH)
+        retried, retry_report = engine.process_payloads(items[1:])
+        assert retry_report.completed == len(items) - 1
+        assert all(hasattr(o, "line_codes") for o in retried)
 
 
 def test_engine_rejects_nonpositive_window(fitted_pipeline):
