@@ -46,6 +46,13 @@ NODE_BY_PREFIX: dict[str, str] = {
     # is io-internal infrastructure, not a new layer — it imports only
     # dialect/errors/types, and io.reader sits directly on top of it.
     "repro.io.ingest": "io",
+    # The source-adapter layer (directories, zip/tar archives, NDJSON,
+    # XML→tabular) sits *in front of* the ingest front door: adapters
+    # enumerate containers into (bytes, provenance) payloads and every
+    # payload still routes through ``io.ingest``.  It is its own node
+    # above ``io`` — the crawl/sweep surfaces (cli, serve, fuzz,
+    # bench) consume it, while nothing inside ``io`` may import it.
+    "repro.io.adapters": "io.adapters",
     "repro.io": "io",
     "repro.perf.bench": "bench",
     # The corpus engine drives whole sweeps through the fitted
@@ -97,6 +104,12 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     "perf": frozenset({"errors", "obs", "types", "util"}),
     "dialect": frozenset({"errors", "types", "util"}),
     "io": frozenset({"dialect", "errors", "obs", "types", "util"}),
+    # Source adapters stand on the ingest front door (``io``) and the
+    # observability registries; they never touch core/ml — their whole
+    # output is (bytes, provenance) payloads for ingest.
+    "io.adapters": frozenset(
+        {"dialect", "errors", "io", "obs", "types", "util"}
+    ),
     "core": frozenset(
         {"dialect", "errors", "io", "obs", "perf", "types", "util"}
     ),
@@ -130,14 +143,14 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     # fitted, through the classifier protocol) and not ``datagen`` /
     # ``eval`` (serving is a production surface, not an experiment).
     "serve": frozenset(
-        {"core", "dialect", "errors", "io", "obs", "perf",
-         "perf.engine", "types", "util"}
+        {"core", "dialect", "errors", "io", "io.adapters", "obs",
+         "perf", "perf.engine", "types", "util"}
     ),
     "bench": frozenset(
         {
             "core", "datagen", "dialect", "errors", "eval", "io",
-            "ml", "obs", "perf", "perf.engine", "serve", "types",
-            "util",
+            "io.adapters", "ml", "obs", "perf", "perf.engine",
+            "serve", "types", "util",
         }
     ),
     # The ingestion fuzz harness mutates datagen corpora at the byte
@@ -145,15 +158,16 @@ ALLOWED_DEPENDENCIES: dict[str, frozenset[str]] = {
     # core extractors, so it sits above both — like bench, it drives
     # lower layers end to end without anything importing it but app.
     "fuzz": frozenset(
-        {"core", "datagen", "dialect", "errors", "io", "perf",
-         "types", "util"}
+        {"core", "datagen", "dialect", "errors", "io", "io.adapters",
+         "obs", "perf", "types", "util"}
     ),
     "analysis": frozenset({"errors", "util"}),
     "app": frozenset(
         {
             "analysis", "baselines", "bench", "core", "datagen",
-            "dialect", "errors", "eval", "fuzz", "io", "ml", "obs",
-            "perf", "perf.engine", "serve", "types", "util",
+            "dialect", "errors", "eval", "fuzz", "io", "io.adapters",
+            "ml", "obs", "perf", "perf.engine", "serve", "types",
+            "util",
         }
     ),
 }

@@ -7,10 +7,14 @@ Three commands cover the zero-to-working workflow:
 ``classify``
     Train a Strudel pipeline on a generated corpus personality and
     print every line of the input file with its predicted class
-    (``--cells`` adds the per-cell view).  Pointed at a *directory*,
-    it sweeps every ``*.csv`` through the persistent-worker corpus
-    engine instead (``--jobs`` for parallel workers, ``--sweep-cache``
-    for the content-addressed result cache).
+    (``--cells`` adds the per-cell view).  Pointed at a *directory*
+    or a container (zip/tar archive, NDJSON stream, XML document), it
+    enumerates every table source through the adapters in
+    :mod:`repro.io.adapters` — recursively, case-insensitively, with
+    per-source provenance like ``lake/arch.zip!a.csv`` — and sweeps
+    them through the persistent-worker corpus engine instead
+    (``--jobs`` for parallel workers, ``--sweep-cache`` for the
+    content-addressed result cache).
 ``generate``
     Materialize a corpus personality on disk as CSV files plus JSON
     ground-truth annotations, for experimentation outside Python.
@@ -23,7 +27,9 @@ Three commands cover the zero-to-working workflow:
     ``docs/performance.md``.
 ``fuzz``
     Run the seeded byte-level ingestion fuzz harness and fail if any
-    input escapes the ``Table``-or-``ReproError`` contract; see
+    input escapes the ``Table``-or-``ReproError`` contract;
+    ``--adapters`` fuzzes mutated zip/tar/NDJSON/XML containers
+    through the source-adapter layer instead.  See
     ``docs/robustness.md``.
 ``serve``
     Train a pipeline, then run the long-lived classification service
@@ -48,6 +54,7 @@ import argparse
 import os
 import sys
 from pathlib import Path
+from typing import Iterator
 
 import repro
 from repro.analysis import lint_paths, render_json, render_text
@@ -55,10 +62,16 @@ from repro.errors import ConfigurationError, IngestError, ServeError
 from repro.core.strudel import StrudelPipeline
 from repro.datagen.corpora import CORPUS_BUILDERS, make_corpus
 from repro.fuzz import FuzzConfig, format_fuzz_report, run_fuzz
+from repro.io.adapters import (
+    SOURCE_SUFFIXES,
+    SourcePayload,
+    adapter_for,
+    is_container_name,
+)
 from repro.io.annotations import save_annotated_file
 from repro.io.ingest import IngestPolicy, IngestResult, ingest_path
 from repro.io.writer import write_csv_text
-from repro.perf.engine import CorpusEngine
+from repro.perf.engine import CorpusEngine, FileResult, SweepReport
 from repro.serve import (
     ClassificationService,
     DeadLetterQueue,
@@ -273,6 +286,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-printed-failures", type=int, default=10,
         help="cap on failure details printed (default: 10)",
     )
+    fuzz.add_argument(
+        "--adapters", action="store_true",
+        help="fuzz the source-adapter layer instead: build seeded "
+             "zip/tar/NDJSON/XML containers, byte-mutate them, and "
+             "require typed errors from enumeration + ingest",
+    )
     return parser
 
 
@@ -341,12 +360,20 @@ def _add_ingest_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _build_policy(args: argparse.Namespace) -> IngestPolicy:
+    """The ingest policy from the CLI flags.  Construction validates
+    encoding names, so a typo'd ``--encoding uft-8`` raises a typed
+    :class:`~repro.errors.EncodingError` here (exit 2 at every call
+    site) instead of being silently skipped during decoding."""
+    return IngestPolicy(
+        strict=args.strict, encoding=args.encoding or None
+    )
+
+
 def _ingest_input(args: argparse.Namespace) -> IngestResult:
     """Route a CLI file argument through the hardened ingestion stage,
     surfacing every repair as a warning line on stderr."""
-    policy = IngestPolicy(
-        strict=args.strict, encoding=args.encoding or None
-    )
+    policy = _build_policy(args)
     result = ingest_path(args.file, policy=policy)
     for note in result.report.warnings():
         print(f"repro: {args.file}: {note}", file=sys.stderr)
@@ -378,59 +405,110 @@ def _train_pipeline(args: argparse.Namespace, out) -> StrudelPipeline:
     return pipeline.fit(corpus.files)
 
 
+#: Payloads per ``process_payloads`` call in a lake sweep: enough to
+#: amortize worker dispatch, small enough to bound memory while an
+#: adapter streams archive members.
+_SWEEP_CHUNK_SOURCES = 64
+
+
+def _chunked(
+    payloads: "Iterator[SourcePayload]", size: int
+) -> "Iterator[list[SourcePayload]]":
+    chunk: list[SourcePayload] = []
+    for payload in payloads:
+        chunk.append(payload)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def _cmd_sweep(args: argparse.Namespace, out) -> int:
-    """Directory mode of ``classify``: sweep every CSV through the
-    persistent-worker corpus engine."""
-    paths = sorted(args.file.glob("*.csv"))
-    if not paths:
-        print(f"repro: {args.file}: no *.csv files", file=sys.stderr)
+    """Lake mode of ``classify``: the source adapters enumerate every
+    ingestable source under the path — a recursive, case-insensitive
+    crawl that opens zip/tar archives, NDJSON logs and XML dumps —
+    and the persistent-worker corpus engine classifies the payloads.
+    The summary reports enumerated vs classified, so nothing
+    disappears silently."""
+    try:
+        policy = _build_policy(args)
+        adapter = adapter_for(args.file, policy)
+        candidates = adapter.candidates()
+    except IngestError as error:
+        print(f"repro: {args.file}: {error}", file=sys.stderr)
+        return 2
+    if not candidates:
+        print(
+            f"repro: {args.file}: no ingestable sources "
+            f"(recognised suffixes: {', '.join(SOURCE_SUFFIXES)})",
+            file=sys.stderr,
+        )
         return 2
     pipeline = _train_pipeline(args, out)
-    policy = IngestPolicy(
-        strict=args.strict, encoding=args.encoding or None
-    )
+    prefix = f"{args.file}{os.sep}"
+    enumerated = 0
+    totals = SweepReport()
     with CorpusEngine(
         pipeline,
         n_jobs=args.jobs,
         policy=policy,
         cache_dir=args.sweep_cache,
     ) as engine:
-        run = engine.sweep(paths)
-        for path, result in run:
-            counts: dict[str, int] = {}
-            for klass in result.line_classes():
-                counts[klass.value] = counts.get(klass.value, 0) + 1
-            summary = " ".join(
-                f"{name}={counts[name]}" for name in sorted(counts)
+        for chunk in _chunked(adapter.iterate(), _SWEEP_CHUNK_SOURCES):
+            enumerated += len(chunk)
+            results, report = engine.process_payloads(
+                [(p.provenance, p.data) for p in chunk]
             )
-            print(
-                f"{path.name}: {result.n_rows}x{result.n_cols} "
-                f"[{result.dialect.describe()}] {summary}",
-                file=out,
-            )
-    report = run.report
+            totals.merge(report)
+            for payload, result in zip(chunk, results):
+                if not isinstance(result, FileResult):
+                    continue
+                counts: dict[str, int] = {}
+                for klass in result.line_classes():
+                    counts[klass.value] = counts.get(klass.value, 0) + 1
+                summary = " ".join(
+                    f"{name}={counts[name]}" for name in sorted(counts)
+                )
+                display = payload.provenance
+                if display.startswith(prefix):
+                    display = display[len(prefix):]
+                print(
+                    f"{display}: {result.n_rows}x{result.n_cols} "
+                    f"[{result.dialect.describe()}] {summary}",
+                    file=out,
+                )
+    adapter_skips = list(getattr(adapter, "skipped", ()))
+    skips = len(totals.skipped) + len(adapter_skips)
     print(
-        f"swept {report.completed}/{report.files} files "
-        f"({report.cache_hits} cached, {len(report.skipped)} skipped, "
-        f"{report.batches} batches)",
+        f"swept {totals.completed}/{enumerated} sources "
+        f"({totals.cache_hits} cached, {skips} skipped, "
+        f"{totals.batches} batches)",
         file=out,
     )
-    for entry in report.skipped:
+    for entry in totals.skipped:
         print(
             f"repro: skipped {entry.path} [{entry.stage}]: "
             f"{entry.reason}",
             file=sys.stderr,
         )
-    if args.fail_on_skip and report.skipped:
+    for provenance, reason in adapter_skips:
+        print(
+            f"repro: skipped {provenance} [enumerate]: {reason}",
+            file=sys.stderr,
+        )
+    if args.fail_on_skip and skips:
         return 1
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
+    try:
+        policy = _build_policy(args)
+    except IngestError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
     pipeline = _train_pipeline(args, out)
-    policy = IngestPolicy(
-        strict=args.strict, encoding=args.encoding or None
-    )
     dlq = DeadLetterQueue(args.dlq) if args.dlq is not None else None
     try:
         service = ClassificationService(
@@ -477,10 +555,12 @@ def _cmd_dlq(args: argparse.Namespace, out) -> int:
     if not len(queue):
         print(f"nothing to replay in {args.dlq}", file=out)
         return 0
+    try:
+        policy = _build_policy(args)
+    except IngestError as error:
+        print(f"repro dlq: {error}", file=sys.stderr)
+        return 2
     pipeline = _train_pipeline(args, out)
-    policy = IngestPolicy(
-        strict=args.strict, encoding=args.encoding or None
-    )
     with CorpusEngine(
         pipeline, n_jobs=args.jobs, policy=policy
     ) as engine:
@@ -490,7 +570,9 @@ def _cmd_dlq(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace, out) -> int:
-    if args.file.is_dir():
+    if args.file.is_dir() or is_container_name(args.file.name):
+        # Directories and container files (zip/tar/ndjson/xml) sweep
+        # through the adapter layer; loose files classify inline.
         return _cmd_sweep(args, out)
     try:
         ingested = _ingest_input(args)
@@ -621,9 +703,11 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
         iterations=args.iterations,
         corpus=args.corpus,
         scale=args.scale,
+        adapters=args.adapters,
     )
+    target = "source adapters" if config.adapters else "ingestion"
     print(
-        f"fuzzing ingestion (seed={config.seed}, "
+        f"fuzzing {target} (seed={config.seed}, "
         f"iterations={config.iterations}, corpus={config.corpus}) ...",
         file=out,
     )

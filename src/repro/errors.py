@@ -65,6 +65,18 @@ class MalformedInputError(IngestError):
     that lenient mode would repair and report instead."""
 
 
+class AdapterError(IngestError):
+    """Raised when a source adapter cannot enumerate a container: a
+    truncated or corrupt archive, a zip/tar member that cannot be
+    read, NDJSON lines that are not JSON (or records of mixed shape),
+    unparseable XML, or container nesting beyond the depth budget.
+    Subclasses :class:`IngestError` because adapters are part of the
+    ingestion front door: callers that already handle ingest failures
+    handle container failures for free, and the fuzz contract (typed
+    ``ReproError``, never a raw ``zipfile``/``json``/``xml``
+    exception) extends to containers unchanged."""
+
+
 class ServeError(ReproError):
     """Raised when the classification service is misused: submitting
     to a service that is draining or was never started, starting a

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from repro.core.line_features import LineFeatureExtractor
 from repro.datagen.corpora import make_corpus
 from repro.errors import ReproError
-from repro.fuzz.mutations import MUTATORS
+from repro.fuzz.mutations import CONTAINER_BUILDERS, MUTATORS
+from repro.io.adapters import SourcePayload, payloads_from_bytes
 from repro.io.ingest import IngestPolicy, IngestResult, ingest_bytes
 from repro.io.writer import write_csv_text
 from repro.util.rng import as_generator
@@ -59,7 +60,13 @@ _EDGE_BASES: tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class FuzzConfig:
-    """Workload of one fuzz run; every field shapes the replay."""
+    """Workload of one fuzz run; every field shapes the replay.
+
+    With ``adapters`` set, each iteration builds a seeded *container*
+    (zip/tar/NDJSON/XML, see ``CONTAINER_BUILDERS``) around corpus
+    texts, byte-mutates the container, and pushes it through the
+    source-adapter layer instead of ingesting raw CSV bytes.
+    """
 
     seed: int = 0
     iterations: int = 500
@@ -67,6 +74,7 @@ class FuzzConfig:
     scale: float = 0.02
     max_mutations: int = 3
     max_bytes: int = FUZZ_MAX_BYTES
+    adapters: bool = False
 
 
 @dataclass(frozen=True)
@@ -144,6 +152,8 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
     strict = IngestPolicy(strict=True, max_bytes=config.max_bytes)
     extractor = LineFeatureExtractor()
     report = FuzzReport(config=config)
+    if config.adapters:
+        return _run_adapter_fuzz(config, rng, bases, lenient, strict, report)
 
     for iteration in range(config.iterations):
         base = bases[int(rng.integers(len(bases)))]
@@ -200,6 +210,131 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
         report.parity_checks += _counted_parity(outcomes)
 
     return report
+
+
+def _run_adapter_fuzz(
+    config: FuzzConfig,
+    rng,
+    bases: list[str],
+    lenient: IngestPolicy,
+    strict: IngestPolicy,
+    report: FuzzReport,
+) -> FuzzReport:
+    """The adapter mode: build a container, mutate it, enumerate it.
+
+    Contract per iteration and mode: the container either enumerates
+    fully — every payload routed through ``ingest_bytes`` yields a
+    valid table — or raises a typed :class:`~repro.errors.ReproError`
+    (:class:`~repro.errors.AdapterError` for container damage); raw
+    ``zipfile``/``tarfile``/``json``/``xml`` exceptions are failures.
+    Parity: whenever *strict* enumeration succeeds, no repair was
+    needed anywhere, so lenient enumeration of the same bytes must
+    produce an identical ``(provenance, bytes)`` payload sequence.
+    """
+    for iteration in range(config.iterations):
+        kind, build = CONTAINER_BUILDERS[
+            int(rng.integers(len(CONTAINER_BUILDERS)))
+        ]
+        members = [
+            bases[int(rng.integers(len(bases)))]
+            for _ in range(1 + int(rng.integers(3)))
+        ]
+        name, data = build(members, rng)
+        names = [f"container:{kind}"]
+        # Zero mutations is a valid draw: pristine containers must
+        # enumerate cleanly in both modes.
+        for _ in range(int(rng.integers(config.max_mutations + 1))):
+            mutator_name, mutate = MUTATORS[
+                int(rng.integers(len(MUTATORS)))
+            ]
+            data = mutate(data, rng)
+            names.append(mutator_name)
+        for applied in names:
+            report.mutator_counts[applied] = (
+                report.mutator_counts.get(applied, 0) + 1
+            )
+        report.iterations += 1
+        chain = tuple(names)
+
+        outcomes: dict[str, list[SourcePayload] | None] = {}
+        for mode, policy, accepted_attr, rejected in (
+            ("lenient", lenient, "lenient_accepted",
+             report.lenient_rejected),
+            ("strict", strict, "strict_accepted",
+             report.strict_rejected),
+        ):
+            payloads, recovered, repro_error, escaped = (
+                _guarded_enumerate(name, data, policy)
+            )
+            if escaped is not None:
+                report.failures.append(_failure(
+                    iteration, chain, mode, escaped, data
+                ))
+                continue
+            if repro_error is not None:
+                kind_name = type(repro_error).__name__
+                rejected[kind_name] = rejected.get(kind_name, 0) + 1
+                continue
+            outcomes[mode] = payloads
+            setattr(
+                report, accepted_attr,
+                getattr(report, accepted_attr) + 1,
+            )
+            if mode == "lenient" and recovered:
+                report.recovered += 1
+
+        strict_payloads = outcomes.get("strict")
+        if strict_payloads is None:
+            continue
+        lenient_payloads = outcomes.get("lenient")
+        if lenient_payloads is None:
+            report.failures.append(_failure(
+                iteration, chain, "parity",
+                AssertionError(
+                    "strict enumeration succeeded but lenient failed"
+                ),
+                data,
+            ))
+            continue
+        if (
+            [(p.provenance, p.data) for p in lenient_payloads]
+            != [(p.provenance, p.data) for p in strict_payloads]
+        ):
+            report.failures.append(_failure(
+                iteration, chain, "parity",
+                AssertionError(
+                    "payload sequences differ between modes"
+                ),
+                data,
+            ))
+            continue
+        report.parity_checks += 1
+
+    return report
+
+
+def _guarded_enumerate(
+    name: str, data: bytes, policy: IngestPolicy
+) -> tuple[
+    list[SourcePayload] | None, bool, ReproError | None,
+    BaseException | None,
+]:
+    """Enumerate one container and ingest every payload, bucketed
+    into the contract's outcomes; the bool is whether any lenient
+    repair fired along the way."""
+    payloads: list[SourcePayload] = []
+    recovered = False
+    try:
+        for payload in payloads_from_bytes(name, data, policy):
+            payloads.append(payload)
+            result = ingest_bytes(payload.data, policy=policy)
+            _check_table(result)
+            recovered = recovered or result.report.recovered
+        return payloads, recovered, None, None
+    except ReproError as error:
+        return None, recovered, error, None
+    except Exception as error:  # the crash class under test
+        return None, recovered, None, error
 
 
 def _counted_parity(outcomes: dict[str, IngestResult | None]) -> int:

@@ -17,7 +17,13 @@ record-separator chaos, random byte splices and giant single lines.
 from __future__ import annotations
 
 import codecs
+import gzip
+import io
+import json
+import tarfile
+import zipfile
 from typing import Callable
+from xml.sax import saxutils
 
 import numpy as np
 
@@ -160,4 +166,130 @@ MUTATORS: tuple[tuple[str, Mutator], ...] = (
     ("record_separator_chaos", record_separator_chaos),
     ("random_splice", random_splice),
     ("giant_line", giant_line),
+)
+
+
+# ----------------------------------------------------------------------
+# Container builders for the adapter fuzz mode (repro fuzz --adapters)
+# ----------------------------------------------------------------------
+# Each builder assembles a *valid* container around seeded member
+# texts: ``(texts, rng) -> (container_name, container_bytes)``.  The
+# harness then applies the byte mutators above to the container bytes,
+# producing truncated zips, mixed-encoding members, malformed NDJSON
+# and unparseable XML — the damage classes the adapter layer must
+# answer with a typed ``AdapterError``, never a raw stdlib exception.
+# Builders are deterministic given the same draws: zip entries pin the
+# 1980 epoch timestamp and tar compression uses ``gzip.compress`` with
+# ``mtime=0``, so a fixed seed replays bit-identical containers.
+ContainerBuilder = Callable[
+    ["list[str]", np.random.Generator], "tuple[str, bytes]"
+]
+
+#: Encodings the zip builder writes members in — mixed on purpose, so
+#: one archive can hold UTF-8, BOM'd UTF-16 and latin-1 members at
+#: once and every member still routes through the ingest front door.
+_MEMBER_ENCODINGS: tuple[str, ...] = ("utf-8", "utf-16", "latin-1")
+
+
+def build_zip_container(
+    texts: "list[str]", rng: np.random.Generator
+) -> "tuple[str, bytes]":
+    """A zip of CSV members: mixed encodings, mixed-case names,
+    nested directories, occasionally a nested inner zip."""
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w") as archive:
+        for index, text in enumerate(texts):
+            encoding = _MEMBER_ENCODINGS[
+                _index(rng, len(_MEMBER_ENCODINGS))
+            ]
+            name = f"member{index}.csv"
+            if _index(rng, 2):
+                name = name.upper()
+            if _index(rng, 3) == 0:
+                name = f"sub/{name}"
+            info = zipfile.ZipInfo(name)  # pins the 1980 timestamp
+            archive.writestr(
+                info, text.encode(encoding, errors="replace")
+            )
+        if _index(rng, 3) == 0:
+            inner = io.BytesIO()
+            with zipfile.ZipFile(inner, "w") as nested:
+                nested.writestr(
+                    zipfile.ZipInfo("nested.csv"),
+                    texts[0].encode("utf-8"),
+                )
+            archive.writestr(zipfile.ZipInfo("inner.zip"), inner.getvalue())
+    return "fuzz.zip", buffer.getvalue()
+
+
+def build_tar_container(
+    texts: "list[str]", rng: np.random.Generator
+) -> "tuple[str, bytes]":
+    """A tar of CSV members, gzip-compressed half the time."""
+    buffer = io.BytesIO()
+    with tarfile.open(fileobj=buffer, mode="w") as archive:
+        for index, text in enumerate(texts):
+            data = text.encode("utf-8")
+            info = tarfile.TarInfo(f"member{index}.csv")
+            info.size = len(data)
+            archive.addfile(info, io.BytesIO(data))
+    data = buffer.getvalue()
+    if _index(rng, 2):
+        return "fuzz.tgz", gzip.compress(data, mtime=0)
+    return "fuzz.tar", data
+
+
+def build_ndjson_container(
+    texts: "list[str]", rng: np.random.Generator
+) -> "tuple[str, bytes]":
+    """An NDJSON log of object records with optional array fields."""
+    words = [word for text in texts for word in text.split()][:64]
+    if not words:
+        words = ["x"]
+    lines: "list[str]" = []
+    for index in range(2 + _index(rng, 6)):
+        record: "dict[str, object]" = {"id": index}
+        if _index(rng, 2):
+            record["name"] = words[_index(rng, len(words))]
+        if _index(rng, 2):
+            record["tags"] = [
+                words[_index(rng, len(words))]
+                for _ in range(1 + _index(rng, 3))
+            ]
+        if _index(rng, 4) == 0:
+            record["flag"] = bool(_index(rng, 2))
+        lines.append(json.dumps(record))
+    return "fuzz.ndjson", ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def build_xml_container(
+    texts: "list[str]", rng: np.random.Generator
+) -> "tuple[str, bytes]":
+    """A dblp-style XML dump: repeated elements with attributes and
+    repeated (array-valued) child tags."""
+    words = [word for text in texts for word in text.split()][:64]
+    if not words:
+        words = ["x"]
+    rows: "list[str]" = []
+    for index in range(1 + _index(rng, 5)):
+        word = saxutils.escape(words[_index(rng, len(words))])
+        authors = "".join(
+            f"<author>{word}</author>"
+            for _ in range(1 + _index(rng, 2))
+        )
+        rows.append(
+            f'<article key="k{index}">{authors}'
+            f"<title>{word}</title></article>"
+        )
+    document = f"<dblp>{''.join(rows)}</dblp>"
+    return "fuzz.xml", document.encode("utf-8")
+
+
+#: Ordered registry, same replay contract as :data:`MUTATORS`:
+#: the harness indexes into it with seeded draws — append only.
+CONTAINER_BUILDERS: tuple[tuple[str, ContainerBuilder], ...] = (
+    ("zip", build_zip_container),
+    ("tar", build_tar_container),
+    ("ndjson", build_ndjson_container),
+    ("xml", build_xml_container),
 )

@@ -1,0 +1,69 @@
+"""Source adapters in front of the ingest front door.
+
+Importing this package registers every concrete adapter with the
+suffix dispatcher in :mod:`repro.io.adapters.base`; the import order
+below fixes the registry order, keeping enumeration deterministic.
+See ``docs/robustness.md`` for the protocol and provenance format.
+"""
+
+from repro.io.adapters.base import (
+    CONTAINER_SUFFIXES,
+    MAX_CONTAINER_DEPTH,
+    NDJSON_SUFFIXES,
+    PROVENANCE_SEPARATOR,
+    SOURCE_SUFFIXES,
+    TABLE_SUFFIXES,
+    TAR_SUFFIXES,
+    XML_SUFFIXES,
+    ZIP_SUFFIXES,
+    SourceAdapter,
+    SourcePayload,
+    is_container_name,
+    join_provenance,
+    payloads_from_bytes,
+    read_source,
+    split_provenance,
+    suffix_matches,
+)
+from repro.io.adapters.archive import (
+    iter_tar_payloads,
+    iter_zip_payloads,
+)
+from repro.io.adapters.records import (
+    iter_ndjson_payloads,
+    iter_xml_payloads,
+)
+from repro.io.adapters.directory import (
+    DirectoryAdapter,
+    FileAdapter,
+    adapter_for,
+    iter_source,
+)
+
+__all__ = [
+    "CONTAINER_SUFFIXES",
+    "MAX_CONTAINER_DEPTH",
+    "NDJSON_SUFFIXES",
+    "PROVENANCE_SEPARATOR",
+    "SOURCE_SUFFIXES",
+    "TABLE_SUFFIXES",
+    "TAR_SUFFIXES",
+    "XML_SUFFIXES",
+    "ZIP_SUFFIXES",
+    "DirectoryAdapter",
+    "FileAdapter",
+    "SourceAdapter",
+    "SourcePayload",
+    "adapter_for",
+    "is_container_name",
+    "iter_ndjson_payloads",
+    "iter_source",
+    "iter_tar_payloads",
+    "iter_xml_payloads",
+    "iter_zip_payloads",
+    "join_provenance",
+    "payloads_from_bytes",
+    "read_source",
+    "split_provenance",
+    "suffix_matches",
+]

@@ -74,6 +74,18 @@ _BOM_CODECS: tuple[tuple[bytes, str], ...] = (
     (codecs.BOM_UTF16_BE, "utf-16-be"),
 )
 
+#: Bytes per code unit for each BOM codec.  Anything above 1 must be
+#: truncated *after* decoding: a byte-level cut at the last ``0x0A``
+#: can split a code unit in half (UTF-16-LE ``\n`` is ``0A 00``),
+#: shifting every following character into U+FFFD noise.
+_CODE_UNIT_BYTES: dict[str, int] = {
+    "utf-32-le": 4,
+    "utf-32-be": 4,
+    "utf-8": 1,
+    "utf-16-le": 2,
+    "utf-16-be": 2,
+}
+
 
 @dataclass(frozen=True)
 class IngestPolicy:
@@ -96,12 +108,30 @@ class IngestPolicy:
         encoding the payload violates.
     max_bytes:
         Size guard over the raw input.
+
+    Every encoding name is validated with :func:`codecs.lookup` at
+    construction; an unknown name (``"uft-8"``) raises a typed
+    :class:`~repro.errors.EncodingError` immediately instead of being
+    silently skipped during the decode attempt chain.
     """
 
     strict: bool = False
     encoding: str | None = None
     fallback_encodings: tuple[str, ...] = ("latin-1",)
     max_bytes: int = DEFAULT_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        names = list(self.fallback_encodings)
+        if self.encoding is not None:
+            names.insert(0, self.encoding)
+        for name in names:
+            try:
+                codecs.lookup(name)
+            except LookupError:
+                raise EncodingError(
+                    f"unknown encoding {name!r} in ingest policy; "
+                    f"fix the spelling (codecs.lookup rejected it)"
+                ) from None
 
     @classmethod
     def strict_policy(cls, **overrides) -> "IngestPolicy":
@@ -220,9 +250,20 @@ def decode_bytes(
     """
     with get_tracer().span("ingest_decode"):
         report = IngestReport(strict=policy.strict)
-        data = _apply_size_guard(data, policy, report)
-
         sniffed = _sniff_bom(data)
+        if len(data) > policy.max_bytes:
+            if policy.strict:
+                raise SizeLimitError(
+                    f"input is {len(data)} bytes, over the "
+                    f"{policy.max_bytes}-byte limit"
+                )
+            if sniffed is not None and _CODE_UNIT_BYTES[sniffed[1]] > 1:
+                text = _decode_truncated_wide(
+                    data, sniffed, policy, report
+                )
+                return _strip_nuls(text, policy, report), report
+            data = _apply_size_guard(data, policy, report)
+
         if sniffed is not None:
             signature, codec = sniffed
             report.bom = codec if codec != "utf-8" else "utf-8-sig"
@@ -249,13 +290,16 @@ def decode_bytes(
 def _apply_size_guard(
     data: bytes, policy: IngestPolicy, report: IngestReport
 ) -> bytes:
+    """Lenient byte-level truncation for single-byte-unit input.
+
+    Safe only when one code unit is one byte (UTF-8 and every
+    ASCII-superset fallback): there a ``0x0A`` byte is always a real
+    newline, so cutting after it cannot split a character.  Oversize
+    BOM'd UTF-16/32 takes :func:`_decode_truncated_wide` instead, and
+    strict mode has already rejected in :func:`decode_bytes`.
+    """
     if len(data) <= policy.max_bytes:
         return data
-    if policy.strict:
-        raise SizeLimitError(
-            f"input is {len(data)} bytes, over the {policy.max_bytes}-"
-            f"byte limit"
-        )
     kept = data[: policy.max_bytes]
     # Prefer cutting at a record boundary so the last surviving line
     # is intact; a boundary-free prefix (one giant line) is hard-cut.
@@ -264,6 +308,47 @@ def _apply_size_guard(
         kept = kept[: boundary + 1]
     report.truncated_bytes = len(data) - len(kept)
     return kept
+
+
+def _decode_truncated_wide(
+    data: bytes,
+    sniffed: tuple[bytes, str],
+    policy: IngestPolicy,
+    report: IngestReport,
+) -> str:
+    """Decode-then-guard for oversize BOM'd UTF-16/32 input.
+
+    Clips the payload at a code-unit-aligned offset inside the byte
+    budget, decodes it, and truncates the *text* at the last newline —
+    so the surviving prefix is exactly what a non-truncated decode of
+    those records would have produced.  ``truncated_bytes`` is the
+    honest count: original payload bytes minus the bytes the kept text
+    re-encodes to (BOM excluded, as it never reaches the text).
+    """
+    signature, codec = sniffed
+    report.bom = codec
+    report.encoding = codec
+    unit = _CODE_UNIT_BYTES[codec]
+    budget = max(policy.max_bytes - len(signature), 0)
+    clipped = data[len(signature): len(signature) + budget - budget % unit]
+    try:
+        text = clipped.decode(codec)
+    except UnicodeDecodeError as exc:
+        # The clip can strand the high half of a UTF-16 surrogate
+        # pair at the very end; dropping it is part of truncation.
+        # Damage elsewhere is genuine payload damage: substitute and
+        # count, exactly as the non-truncated BOM path does.
+        if exc.start >= len(clipped) - 2 * unit:
+            clipped = clipped[: exc.start]
+        text = clipped.decode(codec, errors="replace")
+        report.replacement_count = text.count(REPLACEMENT_CHAR)
+    boundary = text.rfind("\n")
+    if boundary > 0:
+        text = text[: boundary + 1]
+    report.truncated_bytes = (
+        len(data) - len(signature) - len(text.encode(codec))
+    )
+    return text
 
 
 def _decode_without_bom(
@@ -282,7 +367,12 @@ def _decode_without_bom(
         tried.append(encoding)
         try:
             text = data.decode(encoding)
-        except (UnicodeDecodeError, LookupError):
+        except UnicodeDecodeError:
+            # Only decode *failures* advance the chain.  Unknown
+            # encoding names cannot reach here: the policy validated
+            # every name with codecs.lookup at construction, so a
+            # typo'd --encoding raises EncodingError instead of being
+            # silently skipped.
             continue
         report.encoding = encoding
         return text

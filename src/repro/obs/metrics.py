@@ -49,6 +49,10 @@ METRIC_NAMES: tuple[str, ...] = (
     "sweep_cache.hits",
     "sweep_cache.misses",
     "sweep_cache.evictions",
+    "adapter.sources",
+    "adapter.containers",
+    "adapter.records",
+    "adapter.errors",
     "ingest.files",
     "ingest.recovered",
     "ingest.bom_stripped",

@@ -64,6 +64,7 @@ AUX_SPANS: tuple[str, ...] = (
     "forest_compile",
     "sweep",
     "sweep_batch",
+    "adapter_enumerate",
     "serve.batch",
     "serve.drain",
     "serve.replay",

@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import tarfile
 import tempfile
 import time
+import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from functools import partial
@@ -54,6 +56,7 @@ from repro.datagen.spec import FileSpec, TableSpec
 from repro.errors import InvalidParameterError
 from repro.eval.experiments import materialize_corpus
 from repro.eval.runner import CVResult, cross_validate_lines
+from repro.io.adapters import DirectoryAdapter
 from repro.io.cropping import crop_table
 from repro.io.ingest import IngestPolicy, decode_bytes, ingest_text
 from repro.io.writer import write_csv_text
@@ -438,6 +441,94 @@ def _bench_corpus_sweep(config: BenchConfig, corpus: Corpus,
         }
 
 
+def _results_feature_identical(a: FileResult, b: FileResult) -> bool:
+    """Byte-level parity between two results of *different* sources.
+
+    The adapter parity promise compares a loose file against the same
+    bytes classified out of an archive, so the paths legitimately
+    differ; only the classified tensors must match.
+    """
+    return (
+        a.line_codes.tobytes() == b.line_codes.tobytes()
+        and a.cell_positions.tobytes() == b.cell_positions.tobytes()
+        and a.cell_codes.tobytes() == b.cell_codes.tobytes()
+    )
+
+
+def _bench_adapter_sweep(config: BenchConfig, corpus: Corpus,
+                         pipeline: StrudelPipeline) -> dict:
+    """Lake-sweep throughput through the source-adapter layer.
+
+    The corpus is materialized three times into one lake — loose CSV
+    files, the same files zipped into one archive, and tarred into
+    another — then swept in one pass: the directory adapter crawls the
+    lake into ``(provenance, bytes)`` payloads and the warm engine
+    classifies them through ``process_payloads``.  Enumeration and
+    classification are timed separately, and the block checks the
+    adapter layer's parity promise: a member classified out of an
+    archive is byte-identical to the same file classified loose.
+    """
+    policy = IngestPolicy()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-lake-") as tmp:
+        root = Path(tmp)
+        paths = materialize_corpus(corpus, root / "loose")
+        with zipfile.ZipFile(root / "lake.zip", "w") as archive:
+            for path in paths:
+                archive.writestr(
+                    zipfile.ZipInfo(path.name), path.read_bytes()
+                )
+        with tarfile.open(root / "lake.tar", "w") as archive:
+            for path in paths:
+                archive.add(path, arcname=path.name)
+
+        adapter = DirectoryAdapter(root, policy)
+        start = time.perf_counter()
+        payloads = list(adapter.iterate())
+        enumerate_seconds = time.perf_counter() - start
+        if adapter.skipped:
+            name, reason = adapter.skipped[0]
+            raise InvalidParameterError(
+                f"adapter enumeration skipped {name}: {reason}"
+            )
+
+        items = [(p.provenance, p.data) for p in payloads]
+        with CorpusEngine(pipeline, n_jobs=1, policy=policy) as engine:
+            engine.process_payloads(items)  # warm the pool + broadcast
+            start = time.perf_counter()
+            results, report = engine.process_payloads(items)
+            classify_seconds = time.perf_counter() - start
+        if report.skipped:
+            first = report.skipped[0]
+            raise InvalidParameterError(
+                f"adapter sweep skipped {first.path}: {first.reason}"
+            )
+
+        # Group the three variants of each member by leaf name: loose
+        # provenance is a plain path, archive provenance is
+        # ``container!member``.
+        by_member: dict[str, dict[str, FileResult]] = {}
+        for payload, result in zip(payloads, results):
+            container, _, member = payload.provenance.partition("!")
+            variant = Path(container).name if member else "loose"
+            leaf = member or Path(container).name
+            by_member.setdefault(leaf, {})[variant] = result
+        byte_identical = all(
+            _results_feature_identical(
+                variants["loose"], variants[archive_name]
+            )
+            for variants in by_member.values()
+            for archive_name in ("lake.zip", "lake.tar")
+        )
+        return {
+            "sources": len(payloads),
+            "files": len(paths),
+            "enumerate_seconds": enumerate_seconds,
+            "seconds": classify_seconds,
+            "sources_per_second": len(payloads) / classify_seconds,
+            "byte_identical": byte_identical,
+        }
+
+
 def _bench_service_roundtrip(config: BenchConfig, corpus: Corpus,
                              pipeline: StrudelPipeline) -> dict:
     """Async service round-trip throughput + parity.
@@ -529,6 +620,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
     prediction = _bench_prediction(pipeline, text, config.repeats)
     cv = _bench_cv(config, corpus)
     corpus_sweep = _bench_corpus_sweep(config, corpus, pipeline)
+    adapter_sweep = _bench_adapter_sweep(config, corpus, pipeline)
     service_roundtrip = _bench_service_roundtrip(
         config, corpus, pipeline
     )
@@ -554,6 +646,7 @@ def run_benchmark(config: BenchConfig | None = None) -> dict:
         },
         "cv": cv,
         "corpus_sweep": corpus_sweep,
+        "adapter_sweep": adapter_sweep,
         "service_roundtrip": service_roundtrip,
     }
 
@@ -615,6 +708,9 @@ def _timing_metrics(report: dict) -> dict[str, float]:
         metrics["corpus_sweep.sequential_seconds"] = (
             sweep["sequential_seconds"]
         )
+    lake = report.get("adapter_sweep")
+    if lake is not None:
+        metrics["adapter_sweep.seconds"] = lake["seconds"]
     roundtrip = report.get("service_roundtrip")
     if roundtrip is not None:
         metrics["service_roundtrip.seconds"] = roundtrip["seconds"]
@@ -826,6 +922,20 @@ def format_summary(report: dict) -> str:
                 f"  ({sweep['cache_speedup']:.2f}x vs cold "
                 f"{sweep['cache_cold_seconds']:.3f}s)",
                 f"  byte-identical       {sweep['byte_identical']}",
+            ]
+        )
+    lake = report.get("adapter_sweep")
+    if lake is not None:
+        lines.extend(
+            [
+                f"adapter lake sweep ({lake['sources']} sources from "
+                f"{lake['files']} files, loose + zip + tar):",
+                "  enumerate            "
+                f"{lake['enumerate_seconds']:>8.3f}s",
+                "  classify             "
+                f"{lake['seconds']:>8.3f}s"
+                f"  ({lake['sources_per_second']:,.1f} sources/s)",
+                f"  byte-identical       {lake['byte_identical']}",
             ]
         )
     roundtrip = report.get("service_roundtrip")

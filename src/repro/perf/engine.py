@@ -159,6 +159,17 @@ class FileResult:
     cell_positions: np.ndarray
     cell_codes: np.ndarray
 
+    @property
+    def provenance(self) -> str:
+        """The source locator as the adapters produced it.
+
+        For a loose file this is its path; for a container member it
+        is the full ``archive.zip!member.csv`` locator that rode
+        through ``process_payloads`` as the payload name (``path``
+        merely stores it as a :class:`~pathlib.Path`).
+        """
+        return str(self.path)
+
     def line_classes(self) -> list[CellClass]:
         """Per-line classes, decoded to :class:`CellClass`."""
         return [_CODE_TO_CLASS[int(code)] for code in self.line_codes]
@@ -197,6 +208,16 @@ class SweepReport:
     batches: int = 0
     worker_crashes: int = 0
     skipped: list[SkipEntry] = field(default_factory=list)
+
+    def merge(self, other: "SweepReport") -> None:
+        """Fold another report into this one — chunked lake sweeps
+        call ``process_payloads`` per chunk and aggregate here."""
+        self.files += other.files
+        self.completed += other.completed
+        self.cache_hits += other.cache_hits
+        self.batches += other.batches
+        self.worker_crashes += other.worker_crashes
+        self.skipped.extend(other.skipped)
 
     def as_dict(self) -> dict:
         """A JSON-ready summary (paths as strings)."""

@@ -37,7 +37,8 @@ import signal
 import sys
 from pathlib import Path
 
-from repro.errors import ProtocolError, ServeError
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.io.adapters import read_source
 from repro.io.ingest import IngestPolicy
 from repro.obs import get_metrics, get_tracer
 from repro.perf.engine import CorpusEngine, FileResult, SkipEntry
@@ -111,8 +112,9 @@ class ClassificationService:
             raise ServeError("queue_size must be >= 1")
         if batch_files < 1:
             raise ServeError("batch_files must be >= 1")
+        self._policy = policy or IngestPolicy()
         self._engine = CorpusEngine(
-            pipeline, n_jobs=n_jobs, policy=policy,
+            pipeline, n_jobs=n_jobs, policy=self._policy,
             cache_dir=sweep_cache,
         )
         self.dlq = dlq
@@ -352,8 +354,14 @@ class ClassificationService:
                     prepared.append((item.name, item.data))
                     continue
                 try:
-                    data = Path(item.path or "").read_bytes()
-                except OSError as exc:
+                    # Path payloads resolve through the adapter
+                    # layer, so a provenance locator a sweep reported
+                    # (``archive.zip!member.csv``) is classifiable
+                    # over the wire exactly like a loose path.
+                    data = read_source(
+                        item.path or "", policy=self._policy
+                    )
+                except (OSError, ReproError) as exc:
                     prepared.append(
                         SkipEntry(
                             Path(item.path or ""),

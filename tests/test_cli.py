@@ -142,11 +142,11 @@ class TestClassify:
         assert main(args, out=out) == 0
         text = out.getvalue()
         assert "a.csv" in text and "c.csv" in text
-        assert "swept 3/3 files (0 cached" in text
+        assert "swept 3/3 sources (0 cached" in text
 
         out = io.StringIO()
         assert main(args, out=out) == 0
-        assert "swept 3/3 files (3 cached" in out.getvalue()
+        assert "swept 3/3 sources (3 cached" in out.getvalue()
 
     def test_classify_empty_directory_exits_two(self, tmp_path):
         empty = tmp_path / "nothing"
@@ -157,6 +157,70 @@ class TestClassify:
             out=out,
         )
         assert code == 2
+
+    def test_unknown_encoding_exits_two(self, csv_file, capsys):
+        # Regression: ``--encoding uft-8`` used to be silently dropped
+        # by the fallback chain; it is now a usage error.
+        code = main(
+            ["classify", str(csv_file), "--encoding", "uft-8",
+             "--scale", "0.05", "--trees", "8"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "uft-8" in capsys.readouterr().err
+
+    def test_classify_lake_sweeps_every_container(self, tmp_path):
+        """Acceptance: loose CSVs + a zip + a tar + NDJSON in one
+        directory all classify through io.ingest, each line labelled
+        with its provenance locator."""
+        import tarfile
+        import zipfile
+
+        rows = "Region,Q1,Q2\nNorth,5,7\nSouth,6,8\nTotal,11,15\n"
+        lake = tmp_path / "lake"
+        (lake / "sub").mkdir(parents=True)
+        (lake / "loose.csv").write_text(rows, encoding="utf-8")
+        (lake / "sub" / "upper.CSV").write_text(rows, encoding="utf-8")
+        with zipfile.ZipFile(lake / "arch.zip", "w") as archive:
+            archive.writestr("member.csv", rows)
+        with tarfile.open(lake / "arch.tar", "w") as archive:
+            csv_path = lake / "loose.csv"
+            archive.add(csv_path, arcname="tarred.csv")
+        (lake / "log.ndjson").write_text(
+            '{"region": "North", "q1": 5}\n{"region": "South", "q1": 6}\n',
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        code = main(
+            ["classify", str(lake), "--scale", "0.05", "--trees", "8"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "swept 5/5 sources" in text
+        assert "arch.zip!member.csv" in text
+        assert "arch.tar!tarred.csv" in text
+        assert "log.ndjson!records" in text
+        assert "upper.CSV" in text
+
+    def test_classify_single_archive_sweeps_members(self, tmp_path):
+        import zipfile
+
+        rows = "Region,Q1\nNorth,5\nSouth,6\n"
+        archive_path = tmp_path / "only.zip"
+        with zipfile.ZipFile(archive_path, "w") as archive:
+            archive.writestr("one.csv", rows)
+            archive.writestr("two.csv", rows)
+        out = io.StringIO()
+        code = main(
+            ["classify", str(archive_path), "--scale", "0.05",
+             "--trees", "8"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "swept 2/2 sources" in text
+        assert "only.zip!one.csv" in text
 
 
 class TestLint:
@@ -446,7 +510,7 @@ class TestFailOnSkip:
         corpus = self._mixed_dir(tmp_path)
         code, text = self._sweep(corpus, "--fail-on-skip")
         assert code == 1
-        assert "swept 1/2 files" in text
+        assert "swept 1/2 sources" in text
 
     def test_clean_sweep_passes_with_the_flag(self, tmp_path):
         corpus = tmp_path / "corpus"

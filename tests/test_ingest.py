@@ -88,13 +88,25 @@ class TestDecodeBytes:
         assert text == PLAIN
         assert report.bom == "utf-16-le"
 
-    def test_unknown_preferred_encoding_is_skipped(self):
+    def test_unknown_preferred_encoding_is_rejected(self):
+        # Regression: a typo'd preferred encoding used to be silently
+        # swallowed by the fallback loop — ``--encoding uft-8`` decoded
+        # as UTF-8 and reported success.  The policy now validates
+        # every codec name at construction time.
+        with pytest.raises(EncodingError, match="uft-8"):
+            IngestPolicy(encoding="uft-8")
+
+    def test_unknown_fallback_encoding_is_rejected(self):
+        with pytest.raises(EncodingError, match="no-such-codec"):
+            IngestPolicy(fallback_encodings=("no-such-codec",))
+
+    def test_encoding_aliases_still_resolve(self):
+        # codecs.lookup accepts aliases, so spellings like ``UTF8`` or
+        # ``latin1`` keep working exactly as before the validation.
         text, report = decode_bytes(
-            PLAIN.encode("utf-8"),
-            IngestPolicy(encoding="no-such-codec"),
+            PLAIN.encode("utf-8"), IngestPolicy(encoding="UTF8")
         )
         assert text == PLAIN
-        assert report.encoding == "utf-8"
 
     def test_strict_rejects_lying_bom(self):
         # UTF-16 BOM, then an odd number of bytes: not UTF-16.
@@ -149,6 +161,51 @@ class TestNulAndSizePolicy:
         policy = IngestPolicy(max_bytes=10)
         result = ingest_text("a,b\nc,d\ne,f\n", policy=policy)
         assert result.report.truncated_bytes > 0
+
+    def test_lenient_truncates_utf16_on_code_unit_boundary(self):
+        # Regression: the byte-level size guard used to cut BOM'd
+        # UTF-16 payloads at any 0x0A *byte* — the low byte of dozens
+        # of ordinary characters ('Ȋ', '攊', …), not just of
+        # a newline — leaving a mis-aligned tail that decoded to
+        # garbage.  Truncation now happens on decoded text, so every
+        # surviving row is intact.
+        rows = "Region,Q1\nNorth,5\n" * 20
+        data = codecs.BOM_UTF16_LE + rows.encode("utf-16-le")
+        policy = IngestPolicy(max_bytes=100)
+        result = ingest_bytes(data, policy=policy)
+        assert result.report.truncated_bytes > 0
+        assert result.report.bom == "utf-16-le"
+        assert all(
+            row in (["Region", "Q1"], ["North", "5"])
+            for row in result.table.rows()
+        )
+
+    def test_utf16_truncation_byte_count_is_honest(self):
+        rows = "Region,Q1\nNorth,5\n" * 20
+        data = codecs.BOM_UTF16_LE + rows.encode("utf-16-le")
+        policy = IngestPolicy(max_bytes=100)
+        text, report = decode_bytes(data, policy)
+        kept = len(text.encode("utf-16-le"))
+        # kept payload + reported cut = everything after the BOM.
+        assert kept + report.truncated_bytes == len(data) - 2
+        assert kept <= policy.max_bytes
+
+    def test_lenient_truncates_utf32_on_code_unit_boundary(self):
+        rows = "Region,Q1\nNorth,5\n" * 20
+        data = codecs.BOM_UTF32_LE + rows.encode("utf-32-le")
+        policy = IngestPolicy(max_bytes=120)
+        result = ingest_bytes(data, policy=policy)
+        assert result.report.truncated_bytes > 0
+        assert all(
+            row in (["Region", "Q1"], ["North", "5"])
+            for row in result.table.rows()
+        )
+
+    def test_strict_oversize_wide_bom_still_rejected(self):
+        data = codecs.BOM_UTF16_LE + ("a,b\n" * 100).encode("utf-16-le")
+        policy = IngestPolicy.strict_policy(max_bytes=64)
+        with pytest.raises(SizeLimitError):
+            ingest_bytes(data, policy=policy)
 
 
 class TestIngestText:

@@ -143,6 +143,43 @@ class TestReportRendering:
         assert "... and 12 more" in text
 
 
+class TestAdapterFuzz:
+    """The container round: mutated zip/tar/NDJSON/XML archives."""
+
+    @pytest.fixture(scope="class")
+    def adapter_run(self) -> FuzzReport:
+        return run_fuzz(
+            FuzzConfig(seed=0, iterations=80, adapters=True)
+        )
+
+    def test_no_contract_violations(self, adapter_run):
+        assert adapter_run.ok, format_fuzz_report(adapter_run)
+
+    def test_every_container_kind_built(self, adapter_run):
+        built = {
+            name for name in adapter_run.mutator_counts
+            if name.startswith("container:")
+        }
+        assert built == {
+            "container:zip", "container:tar",
+            "container:ndjson", "container:xml",
+        }
+
+    def test_mutated_containers_were_rejected_typed(self, adapter_run):
+        # Byte mutation corrupts some containers; every rejection must
+        # be a typed ReproError (the escape path would fail the run).
+        assert adapter_run.lenient_rejected
+        assert adapter_run.parity_checks > 0
+
+    def test_same_seed_same_report(self, adapter_run):
+        again = run_fuzz(
+            FuzzConfig(seed=0, iterations=80, adapters=True)
+        )
+        assert again.mutator_counts == adapter_run.mutator_counts
+        assert again.lenient_accepted == adapter_run.lenient_accepted
+        assert again.strict_rejected == adapter_run.strict_rejected
+
+
 class TestFuzzCli:
     def test_cli_fuzz_smoke(self):
         out = io.StringIO()
